@@ -1,0 +1,230 @@
+//! The simulation experiments SIM1 and SIM2.
+//!
+//! * **SIM1** instantiates the paper's motivating claim: an Ascend-class
+//!   algorithm (all-reduce) on a shuffle-exchange machine runs at full speed
+//!   when healthy, *stalls* when a single processor fails and there are no
+//!   spares, and runs at full speed again when the machine is the
+//!   fault-tolerant `B^k_{2,h}` and the rank-based reconfiguration is
+//!   applied. The table reports steps and slowdown versus the native
+//!   hypercube.
+//! * **SIM2** quantifies Section V's bus trade-off: the bus implementation
+//!   costs a factor of ≈ 2 only when processors are multi-ported, and
+//!   (almost) nothing when they are single-ported. It additionally reports a
+//!   routed-workload comparison on healthy vs. faulty vs. reconfigured
+//!   machines.
+
+use crate::report::{fmt_f64, fmt_steps, TextTable};
+use ftdb_core::{FaultSet, FtShuffleExchange};
+use ftdb_graph::Embedding;
+use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
+use ftdb_sim::bus_model::bus_timing_table;
+use ftdb_sim::machine::{PhysicalMachine, PortModel};
+use ftdb_sim::metrics::SlowdownRow;
+use ftdb_sim::routing::run_logical_workload;
+use ftdb_sim::workload;
+use ftdb_topology::{DeBruijn2, ShuffleExchange};
+use rand::SeedableRng;
+
+/// Runs SIM1 for a given `h` and fault budget `k`, with `fault_node`
+/// injected in the faulty scenarios. Returns one [`SlowdownRow`] per
+/// scenario.
+pub fn sim1_ascend_slowdown(h: usize, k: usize, fault_node: usize) -> Vec<SlowdownRow> {
+    let se = ShuffleExchange::new(h);
+    let n = se.node_count();
+    let values = workload::index_values(n);
+    let reference = allreduce_hypercube(h, &values);
+    let expected_total = reference.values[0];
+    let mut rows = Vec::new();
+    rows.push(SlowdownRow {
+        scenario: "hypercube (reference)".into(),
+        steps: Some(reference.steps),
+        reference_steps: reference.steps.max(1),
+    });
+
+    // Healthy shuffle-exchange, no spares.
+    let healthy = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+    let identity = Embedding::identity(n);
+    let out = allreduce_shuffle_exchange(&se, &identity, &healthy, &values)
+        .expect("healthy machine must complete");
+    assert!(out.values.iter().all(|&v| v == expected_total));
+    rows.push(SlowdownRow {
+        scenario: "shuffle-exchange, healthy".into(),
+        steps: Some(out.steps),
+        reference_steps: reference.steps.max(1),
+    });
+
+    // One fault, no spares: the run stalls.
+    let mut faulty = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+    faulty.inject_fault(fault_node % n);
+    let stalled = allreduce_shuffle_exchange(&se, &identity, &faulty, &values);
+    rows.push(SlowdownRow {
+        scenario: format!("shuffle-exchange, 1 fault (node {}), no spares", fault_node % n),
+        steps: stalled.ok().map(|o| o.steps),
+        reference_steps: reference.steps.max(1),
+    });
+
+    // k faults on the fault-tolerant machine, reconfigured.
+    let ft = FtShuffleExchange::new(h, k).expect("SE ⊆ DB embedding available for this h");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(fault_node as u64);
+    let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+    let placement = ft
+        .reconfigure_verified(&faults)
+        .expect("reconfiguration must succeed for <= k faults");
+    let machine =
+        PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
+    let out = allreduce_shuffle_exchange(&se, &placement, &machine, &values)
+        .expect("reconfigured fault-tolerant machine must complete");
+    assert!(out.values.iter().all(|&v| v == expected_total));
+    rows.push(SlowdownRow {
+        scenario: format!("B^{k}(2,{h}) with {k} faults, reconfigured"),
+        steps: Some(out.steps),
+        reference_steps: reference.steps.max(1),
+    });
+    rows
+}
+
+/// Renders the SIM1 rows as a [`TextTable`].
+pub fn render_sim1(h: usize, k: usize, rows: &[SlowdownRow]) -> TextTable {
+    let mut table = TextTable::new(
+        format!("SIM1: Ascend all-reduce on 2^{h} logical nodes (k = {k})"),
+        &["scenario", "steps", "slowdown vs hypercube"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.scenario.clone(),
+            fmt_steps(r.steps),
+            r.slowdown().map_or("-".to_string(), fmt_f64),
+        ]);
+    }
+    table
+}
+
+/// Runs the SIM2 bus-timing table for the standard fanouts.
+pub fn sim2_bus_table() -> TextTable {
+    let rows = bus_timing_table(&[1, 2, 4, 8]);
+    let mut table = TextTable::new(
+        "SIM2: bus implementation timing (slots per superstep)",
+        &[
+            "distinct values/node", "p2p multi-port", "p2p single-port", "bus",
+            "bus vs multi-port", "bus vs single-port",
+        ],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.fanout.to_string(),
+            r.p2p_multi_port.to_string(),
+            r.p2p_single_port.to_string(),
+            r.bus.to_string(),
+            fmt_f64(r.slowdown_vs_multi_port),
+            fmt_f64(r.slowdown_vs_single_port),
+        ]);
+    }
+    table
+}
+
+/// A routed-workload comparison (part of SIM1's narrative): delivery ratio
+/// and latency of an oblivious de Bruijn-routed permutation workload on a
+/// healthy machine, a faulted machine without spares, and the reconfigured
+/// fault-tolerant machine.
+pub fn sim1_routing_table(h: usize, k: usize, seed: u64) -> TextTable {
+    let db = DeBruijn2::new(h);
+    let n = db.node_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pairs = workload::permutation_pairs(n, &mut rng);
+
+    let mut table = TextTable::new(
+        format!("SIM1b: oblivious de Bruijn routing of a random permutation (2^{h} nodes, k = {k})"),
+        &["scenario", "delivered", "dropped", "delivery ratio", "mean hops", "max hops"],
+    );
+    let mut push = |label: &str, stats: ftdb_sim::metrics::RoutingStats| {
+        table.push_row(vec![
+            label.to_string(),
+            stats.delivered.to_string(),
+            stats.dropped.to_string(),
+            fmt_f64(stats.delivery_ratio()),
+            fmt_f64(stats.mean_hops()),
+            stats.max_hops.to_string(),
+        ]);
+    };
+
+    // Healthy, no spares.
+    let healthy = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+    push(
+        "plain B(2,h), healthy",
+        run_logical_workload(&db, &Embedding::identity(n), &healthy, &pairs),
+    );
+
+    // Faulty, no spares.
+    let mut faulted = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+    faulted.inject_fault(1);
+    push(
+        "plain B(2,h), 1 fault, no spares",
+        run_logical_workload(&db, &Embedding::identity(n), &faulted, &pairs),
+    );
+
+    // Fault-tolerant, reconfigured.
+    let ft = ftdb_core::FtDeBruijn2::new(h, k);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+    let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+    let placement = ft.reconfigure_verified(&faults).expect("reconfiguration succeeds");
+    let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
+    push(
+        "B^k(2,h), k faults, reconfigured",
+        run_logical_workload(&db, &placement, &machine, &pairs),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim1_rows_tell_the_paper_story() {
+        let rows = sim1_ascend_slowdown(4, 1, 5);
+        assert_eq!(rows.len(), 4);
+        // Reference: h steps, slowdown 1.
+        assert_eq!(rows[0].steps, Some(4));
+        // Healthy SE: 2h steps, slowdown 2.
+        assert_eq!(rows[1].steps, Some(8));
+        assert_eq!(rows[1].slowdown(), Some(2.0));
+        // One fault, no spares: stalled.
+        assert_eq!(rows[2].steps, None);
+        // Fault-tolerant, reconfigured: back to 2h.
+        assert_eq!(rows[3].steps, Some(8));
+    }
+
+    #[test]
+    fn sim1_renders_with_stalled_marker() {
+        let rows = sim1_ascend_slowdown(3, 1, 2);
+        let table = render_sim1(3, 1, &rows);
+        let text = table.render();
+        assert!(text.contains("stalled"));
+        assert!(text.contains("hypercube"));
+    }
+
+    #[test]
+    fn sim2_table_shows_factor_two() {
+        let table = sim2_bus_table();
+        let text = table.render();
+        assert!(text.contains("2.00"));
+        assert!(text.contains("1.00"));
+        assert_eq!(table.row_count(), 4);
+    }
+
+    #[test]
+    fn sim1_routing_table_shows_recovery() {
+        let table = sim1_routing_table(4, 2, 99);
+        assert_eq!(table.row_count(), 3);
+        let text = table.render();
+        // Healthy and reconfigured scenarios deliver everything (ratio 1.00);
+        // the faulted unprotected scenario drops at least the packets that
+        // start or end at the faulty node.
+        assert!(text.contains("1.00"));
+        let faulted_line = text
+            .lines()
+            .find(|l| l.contains("no spares"))
+            .expect("faulted scenario row present");
+        assert!(!faulted_line.contains("1.00"), "faulted run should drop packets: {faulted_line}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Bench: the comparison-table machinery (TAB1–TAB3), including the
+//! SE ⊆ DB embedding search that the degree-(4k+4) shuffle-exchange
+//! construction depends on, and the Samatham–Pradhan baseline construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftdb_analysis::comparison::{base2_table, shuffle_exchange_table};
+use ftdb_core::baseline::{embed_smaller_base, SpBaseline};
+use ftdb_topology::se_embedding::embed_se_into_debruijn;
+use std::hint::black_box;
+
+fn bench_se_embedding_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("se_to_debruijn_embedding");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &h in &[3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let result = embed_se_into_debruijn(h);
+                assert!(result.is_found());
+                black_box(result.into_embedding().map(|e| e.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samatham_pradhan_baseline");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &(m, h, k) in &[(2usize, 3usize, 1usize), (2, 4, 1), (3, 3, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_h{h}_k{k}")),
+            &(m, h, k),
+            |b, &(m, h, k)| {
+                b.iter(|| {
+                    let sp = SpBaseline::new(m, h, k);
+                    let host = sp.construct();
+                    let sigma = embed_smaller_base(m, sp.host_base(), h);
+                    black_box((host.node_count(), sigma.len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_generation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("TAB1_base2", |b| {
+        b.iter(|| black_box(base2_table(&[3, 4, 5, 6], &[1, 2, 3], 1 << 12).len()))
+    });
+    group.bench_function("TAB3_shuffle_exchange", |b| {
+        b.iter(|| black_box(shuffle_exchange_table(&[(4, 1), (4, 2), (5, 1)], 5).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_se_embedding_search,
+    bench_baseline_construction,
+    bench_table_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Bench: constructing the fault-tolerant graphs (TAB1/TAB2 instances).
+//!
+//! Measures how long it takes to materialise `B^k_{2,h}` and `B^k_{m,h}`
+//! for the parameter sweep used in the comparison tables, plus the plain
+//! target graphs as a baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftdb_core::{BusArchitecture, FtDeBruijn2, FtDeBruijnM, NaturalFtShuffleExchange};
+use ftdb_topology::{DeBruijn2, DeBruijnM, ShuffleExchange};
+use std::hint::black_box;
+
+fn bench_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_target");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &h in &[6usize, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("B(2,h)", h), &h, |b, &h| {
+            b.iter(|| black_box(DeBruijn2::new(h).node_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("SE(h)", h), &h, |b, &h| {
+            b.iter(|| black_box(ShuffleExchange::new(h).node_count()))
+        });
+    }
+    for &(m, h) in &[(3usize, 5usize), (4, 4), (8, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("B(m,h)", format!("m{m}_h{h}")),
+            &(m, h),
+            |b, &(m, h)| b.iter(|| black_box(DeBruijnM::new(m, h).node_count())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ft_base2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_ft_base2");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(h, k) in ftdb_bench::BASE2_PARAMS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{h}_k{k}")),
+            &(h, k),
+            |b, &(h, k)| b.iter(|| black_box(FtDeBruijn2::new(h, k).graph().edge_count())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ft_base_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_ft_base_m");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(m, h, k) in ftdb_bench::BASE_M_PARAMS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_h{h}_k{k}")),
+            &(m, h, k),
+            |b, &(m, h, k)| b.iter(|| black_box(FtDeBruijnM::new(m, h, k).graph().edge_count())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ft_shuffle_and_bus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_ft_shuffle_and_bus");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(h, k) in &[(6usize, 2usize), (8, 2), (10, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("natural_SE^k", format!("h{h}_k{k}")),
+            &(h, k),
+            |b, &(h, k)| {
+                b.iter(|| black_box(NaturalFtShuffleExchange::new(h, k).graph().edge_count()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bus_architecture", format!("h{h}_k{k}")),
+            &(h, k),
+            |b, &(h, k)| b.iter(|| black_box(BusArchitecture::new(h, k).max_bus_degree())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_targets,
+    bench_ft_base2,
+    bench_ft_base_m,
+    bench_ft_shuffle_and_bus
+);
+criterion_main!(benches);

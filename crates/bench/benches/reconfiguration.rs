@@ -1,0 +1,56 @@
+//! Bench: the reconfiguration algorithm (FIG3 operation).
+//!
+//! The paper's reconfiguration is a rank computation — this bench measures
+//! it (and its verification) for increasing machine sizes and fault counts,
+//! on both the base-2 and the base-m constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftdb_core::{FaultSet, FtDeBruijn2, FtDeBruijnM};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_reconfigure_base2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfigure_base2");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(h, k) in ftdb_bench::BASE2_PARAMS {
+        let ft = FtDeBruijn2::new(h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("map_only", format!("h{h}_k{k}")),
+            &(&ft, &faults),
+            |b, (ft, faults)| b.iter(|| black_box(ft.reconfigure(faults).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("map_and_verify", format!("h{h}_k{k}")),
+            &(&ft, &faults),
+            |b, (ft, faults)| {
+                b.iter(|| black_box(ft.reconfigure_verified(faults).expect("tolerant").len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reconfigure_base_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfigure_base_m");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(m, h, k) in ftdb_bench::BASE_M_PARAMS {
+        let ft = FtDeBruijnM::new(m, h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_h{h}_k{k}")),
+            &(&ft, &faults),
+            |b, (ft, faults)| {
+                b.iter(|| black_box(ft.reconfigure_verified(faults).expect("tolerant").len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfigure_base2, bench_reconfigure_base_m);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! The experiment driver: regenerates every figure and table of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ftdb-bench --bin experiments -- [experiment...]
+//! ```
+//!
+//! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
+//! table3 corollaries tolerance sim sim-bus all` (default: `all`). Output is
+//! plain text on stdout; it is the source of the measured numbers recorded
+//! in `EXPERIMENTS.md`.
+
+use ftdb_analysis::comparison::{
+    base2_table, base_m_table, render_comparison, render_shuffle_exchange, shuffle_exchange_table,
+};
+use ftdb_analysis::ablation::{
+    offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
+};
+use ftdb_analysis::corollaries::{
+    render_corollaries, render_tolerance, sweep_base2, sweep_base_m, sweep_bus, tolerance_sweep,
+};
+use ftdb_analysis::figures;
+use ftdb_analysis::sim_experiments::{
+    render_sim1, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
+};
+
+fn print_figure(fig: &figures::Figure) {
+    println!("===== {} : {} =====", fig.id, fig.caption);
+    println!("{}", fig.text);
+    if let Some(dot) = &fig.dot {
+        println!("--- DOT ---");
+        println!("{dot}");
+    }
+}
+
+fn run(name: &str) -> bool {
+    match name {
+        "fig1" => print_figure(&figures::figure1()),
+        "fig2" => print_figure(&figures::figure2()),
+        "fig3" => {
+            // The paper draws one specific single-fault example; print the
+            // canonical one (fault at node 5) plus a second for contrast.
+            print_figure(&figures::figure3(5));
+            print_figure(&figures::figure3(0));
+        }
+        "fig4" => print_figure(&figures::figure4()),
+        "fig5" => print_figure(&figures::figure5(4)),
+        "table1" => {
+            let rows = base2_table(&[3, 4, 5, 6, 8, 10], &[1, 2, 3, 4, 8], 1 << 14);
+            println!(
+                "{}",
+                render_comparison("TAB1: base-2 de Bruijn, ours vs Samatham-Pradhan", &rows).render()
+            );
+        }
+        "table2" => {
+            let rows = base_m_table(&[(3, 3), (4, 3), (8, 2), (16, 2)], &[1, 2, 4], 1 << 14);
+            println!(
+                "{}",
+                render_comparison("TAB2: base-m de Bruijn, ours vs Samatham-Pradhan", &rows).render()
+            );
+        }
+        "table3" => {
+            let rows = shuffle_exchange_table(
+                &[(3, 1), (4, 1), (4, 2), (5, 1), (5, 2), (5, 3), (6, 1), (7, 2)],
+                6,
+            );
+            println!("{}", render_shuffle_exchange(&rows).render());
+        }
+        "corollaries" => {
+            let c12 = sweep_base2(&[3, 4, 5, 6, 7], &[0, 1, 2, 3, 4, 6]);
+            println!(
+                "{}",
+                render_corollaries("COR1-2: base-2 degree bounds (4k+4; k=1: 8)", &c12).render()
+            );
+            let c34 = sweep_base_m(&[(3, 3), (3, 4), (4, 3), (5, 2), (6, 2), (8, 2)], &[1, 2, 3]);
+            println!(
+                "{}",
+                render_corollaries("COR3-4: base-m degree bounds (4(m-1)k+2m; k=1: 6m-4)", &c34).render()
+            );
+            let bus = sweep_bus(&[3, 4, 5, 6], &[0, 1, 2, 3]);
+            println!(
+                "{}",
+                render_corollaries("Section V: bus-degree bound (2k+3)", &bus).render()
+            );
+        }
+        "tolerance" => {
+            let rows = tolerance_sweep(
+                &[
+                    (2, 3, 1),
+                    (2, 3, 2),
+                    (2, 3, 3),
+                    (2, 4, 1),
+                    (2, 4, 2),
+                    (2, 5, 1),
+                    (2, 5, 2),
+                    (3, 3, 1),
+                    (3, 3, 2),
+                    (4, 2, 2),
+                    (2, 8, 2),
+                    (3, 4, 2),
+                ],
+                200_000,
+                500,
+                std::thread::available_parallelism().map_or(4, |p| p.get()),
+            );
+            println!("{}", render_tolerance(&rows).render());
+        }
+        "sim" => {
+            for (h, k) in [(4, 1), (5, 2), (6, 3)] {
+                let rows = sim1_ascend_slowdown(h, k, 5);
+                println!("{}", render_sim1(h, k, &rows).render());
+            }
+            println!("{}", sim1_routing_table(6, 2, 0xF7DB).render());
+        }
+        "sim-bus" => {
+            println!("{}", sim2_bus_table().render());
+        }
+        "ablation" => {
+            let abl1 = offset_ablation(&[(3, 1), (3, 2), (4, 1), (4, 2)], 50_000_000);
+            println!("{}", render_offset_ablation(&abl1).render());
+            let abl2 = reconfig_ablation(&[(3, 1), (3, 2), (3, 3), (4, 1), (4, 2)], 50_000_000);
+            println!("{}", render_reconfig_ablation(&abl2).render());
+        }
+        "all" => {
+            for e in [
+                "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
+                "corollaries", "tolerance", "sim", "sim-bus", "ablation",
+            ] {
+                run(e);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ok = true;
+    if args.is_empty() {
+        ok &= run("all");
+    } else {
+        for a in &args {
+            ok &= run(a);
+        }
+    }
+    if !ok {
+        eprintln!(
+            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|ablation|all]..."
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ftdb-bench
+//!
+//! The benchmark harness and experiment driver for the fault-tolerant
+//! de Bruijn workspace.
+//!
+//! * The `experiments` binary (`cargo run -p ftdb-bench --bin experiments`)
+//!   regenerates every figure and table reported in `EXPERIMENTS.md`
+//!   (FIG1–FIG5, TAB1–TAB3, COR1-4, THM1-2, SIM1, SIM2).
+//! * The Criterion benches (`cargo bench --workspace`) measure the costs of
+//!   the operations a real machine would perform: constructing the
+//!   fault-tolerant graphs, reconfiguring after faults, verifying tolerance,
+//!   routing, and running the Ascend emulation.
+//!
+//! This library crate only holds the shared parameter sets so that the
+//! binary and the benches stay in sync.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// `(h, k)` pairs used for the base-2 construction/reconfiguration benches
+/// and the corollary sweeps.
+pub const BASE2_PARAMS: &[(usize, usize)] = &[(3, 1), (4, 1), (4, 2), (5, 2), (6, 2), (8, 4), (10, 4)];
+
+/// `(m, h, k)` triples used for the base-m benches and sweeps.
+pub const BASE_M_PARAMS: &[(usize, usize, usize)] =
+    &[(3, 3, 1), (3, 3, 2), (4, 3, 1), (4, 3, 2), (5, 2, 3), (8, 2, 1)];
+
+/// `h` values for the de Bruijn routing benches.
+pub const ROUTING_H: &[usize] = &[6, 8, 10];
+
+/// `(h, k)` pairs small enough for exhaustive `(k, G)`-tolerance
+/// verification in a bench iteration.
+pub const VERIFY_PARAMS: &[(usize, usize)] = &[(3, 1), (3, 2), (4, 1), (4, 2)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_sets_are_nonempty_and_sane() {
+        assert!(!BASE2_PARAMS.is_empty());
+        assert!(BASE2_PARAMS.iter().all(|&(h, k)| h >= 3 && k >= 1));
+        assert!(BASE_M_PARAMS.iter().all(|&(m, h, k)| m >= 2 && h >= 2 && k >= 1));
+        assert!(VERIFY_PARAMS.iter().all(|&(h, k)| (1usize << h) + k <= 20));
+        assert!(!ROUTING_H.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Fault models: node faults, edge faults, and fault-set enumeration.
+//!
+//! The paper considers node faults only, and notes that "edge faults can be
+//! tolerated by viewing a node that is incident to the faulty edge as being
+//! faulty"; [`FaultSet::from_edge_faults`] implements exactly that reduction.
+//! Section V extends the idea to bus faults (a faulty bus is charged to the
+//! node that owns it), which [`crate::bus`] builds on.
+
+use ftdb_graph::{BitSet, Graph, NodeId};
+use rand::seq::SliceRandom;
+
+/// A set of faulty nodes of a fault-tolerant graph with a fixed node count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSet {
+    nodes: BitSet,
+}
+
+impl FaultSet {
+    /// An empty fault set for a graph with `universe` nodes.
+    pub fn empty(universe: usize) -> Self {
+        FaultSet {
+            nodes: BitSet::new(universe),
+        }
+    }
+
+    /// A fault set containing the given faulty nodes.
+    ///
+    /// # Panics
+    /// Panics if a node id is `>= universe`.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(universe: usize, nodes: I) -> Self {
+        FaultSet {
+            nodes: BitSet::from_iter(universe, nodes),
+        }
+    }
+
+    /// Converts a set of edge faults into the node-fault set the paper
+    /// prescribes: for every faulty edge, its lower-numbered endpoint is
+    /// declared faulty. (Any fixed rule that marks one endpoint works; using
+    /// the lower endpoint keeps the reduction deterministic.)
+    pub fn from_edge_faults<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        universe: usize,
+        edges: I,
+    ) -> Self {
+        FaultSet::from_nodes(universe, edges.into_iter().map(|(u, v)| u.min(v)))
+    }
+
+    /// Draws a uniformly random fault set of exactly `count` distinct nodes.
+    pub fn random<R: rand::Rng>(universe: usize, count: usize, rng: &mut R) -> Self {
+        assert!(count <= universe, "cannot fault {count} of {universe} nodes");
+        let mut all: Vec<NodeId> = (0..universe).collect();
+        all.shuffle(rng);
+        FaultSet::from_nodes(universe, all.into_iter().take(count))
+    }
+
+    /// Marks `node` as faulty. Returns `true` if it was previously healthy.
+    pub fn add(&mut self, node: NodeId) -> bool {
+        self.nodes.insert(node)
+    }
+
+    /// Returns whether `node` is faulty.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(node)
+    }
+
+    /// Number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.count()
+    }
+
+    /// `true` if no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The size of the universe (total node count of the host graph).
+    pub fn universe(&self) -> usize {
+        self.nodes.capacity()
+    }
+
+    /// Iterates over the faulty nodes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter()
+    }
+
+    /// The healthy (non-faulty) nodes in increasing order.
+    pub fn healthy(&self) -> Vec<NodeId> {
+        self.nodes.iter_complement().collect()
+    }
+
+    /// The underlying bit set of faulty nodes.
+    pub fn as_bitset(&self) -> &BitSet {
+        &self.nodes
+    }
+}
+
+/// Iterator over *all* fault sets of exactly `k` nodes out of `n`, in
+/// lexicographic order. Used by the exhaustive `(k, G)`-tolerance verifier.
+///
+/// The number of combinations is `C(n, k)`; callers are expected to keep the
+/// parameters small enough (the experiments use it up to a few hundred
+/// thousand combinations, split across threads).
+#[derive(Clone, Debug)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    current: Option<Vec<usize>>,
+}
+
+impl Combinations {
+    /// Creates the enumeration of all `k`-subsets of `0..n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        let current = if k <= n { Some((0..k).collect()) } else { None };
+        Combinations { n, k, current }
+    }
+
+    /// The total number of combinations `C(n, k)` (saturating at `u128::MAX`).
+    pub fn total(n: usize, k: usize) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut result: u128 = 1;
+        for i in 0..k {
+            result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        }
+        result
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.current.as_mut()?;
+        let result = current.clone();
+        // Advance to the next combination in lexicographic order.
+        if self.k == 0 {
+            self.current = None;
+            return Some(result);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            if current[i] != i + self.n - self.k {
+                current[i] += 1;
+                for j in i + 1..self.k {
+                    current[j] = current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+/// Samples `samples` random fault sets of size `k` (with replacement across
+/// samples) for a graph `g`, returning them as [`FaultSet`]s.
+pub fn sample_fault_sets<R: rand::Rng>(
+    g: &Graph,
+    k: usize,
+    samples: usize,
+    rng: &mut R,
+) -> Vec<FaultSet> {
+    (0..samples)
+        .map(|_| FaultSet::random(g.node_count(), k, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdb_graph::generators;
+
+    #[test]
+    fn basic_fault_set_operations() {
+        let mut f = FaultSet::empty(10);
+        assert!(f.is_empty());
+        assert!(f.add(3));
+        assert!(!f.add(3));
+        f.add(7);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(3));
+        assert!(!f.contains(4));
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(f.healthy().len(), 8);
+        assert_eq!(f.universe(), 10);
+    }
+
+    #[test]
+    fn edge_fault_reduction_marks_one_endpoint() {
+        let f = FaultSet::from_edge_faults(8, [(5, 2), (6, 7)]);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![2, 6]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn random_fault_set_has_exact_size() {
+        let mut rng = rand::rng();
+        for _ in 0..20 {
+            let f = FaultSet::random(20, 5, &mut rng);
+            assert_eq!(f.len(), 5);
+            assert!(f.iter().all(|v| v < 20));
+        }
+    }
+
+    #[test]
+    fn combinations_enumerate_all_subsets() {
+        let combos: Vec<Vec<usize>> = Combinations::new(5, 2).collect();
+        assert_eq!(combos.len(), 10);
+        assert_eq!(combos[0], vec![0, 1]);
+        assert_eq!(combos[9], vec![3, 4]);
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = combos.iter().cloned().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(4, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+        assert_eq!(Combinations::new(3, 3).collect::<Vec<_>>(), vec![vec![0, 1, 2]]);
+        assert_eq!(Combinations::total(5, 2), 10);
+        assert_eq!(Combinations::total(17, 3), 680);
+        assert_eq!(Combinations::total(3, 5), 0);
+        assert_eq!(Combinations::total(10, 0), 1);
+    }
+
+    #[test]
+    fn combination_count_matches_formula() {
+        for (n, k) in [(6, 3), (8, 2), (9, 4), (7, 7)] {
+            let count = Combinations::new(n, k).count() as u128;
+            assert_eq!(count, Combinations::total(n, k), "n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn sampling_produces_requested_number() {
+        let g = generators::cycle(12);
+        let mut rng = rand::rng();
+        let sets = sample_fault_sets(&g, 3, 7, &mut rng);
+        assert_eq!(sets.len(), 7);
+        assert!(sets.iter().all(|f| f.len() == 3 && f.universe() == 12));
+    }
+}

@@ -1,0 +1,167 @@
+//! Executable versions of the paper's technical lemmas.
+//!
+//! The correctness proofs of Theorems 1 and 2 rest on three small facts.
+//! This module states them as checkable predicates so that the test suite
+//! (including property-based tests) can exercise them over large parameter
+//! ranges, exactly as a referee would spot-check the algebra:
+//!
+//! * **Lemma 1** — for a finite integer set `T` and `a < b` in `T`,
+//!   the "displacement" `δ_a = a - Rank(a, T)` is monotone:
+//!   `δ_a ≤ δ_b`.
+//! * **Lemma 2** — a base-2 de Bruijn edge `(x, y)` with
+//!   `y = X(x, 2, r, 2^h)` wraps around at most once: either `x < y` and
+//!   `y = 2x + r`, or `x > y` and `y = 2x + r − 2^h`.
+//! * **Lemma 3** — the base-m generalisation: with `y = X(x, m, r, m^h)` and
+//!   `y = mx + r − t·m^h`, either `x < y` and `t ∈ {0, …, m−2}`, or `x > y`
+//!   and `t ∈ {1, …, m−1}`.
+
+use ftdb_topology::labels::{pow_nodes, rank};
+
+/// The displacement `δ_a = a − Rank(a, T)` used in Lemma 1.
+pub fn displacement(a: usize, t: &[usize]) -> i64 {
+    a as i64 - rank(a, t) as i64
+}
+
+/// Checks Lemma 1 for a specific pair `a < b` of members of `T`:
+/// `δ_a ≤ δ_b`.
+///
+/// # Panics
+/// Panics if `a ≥ b` or if either value is not a member of `T`.
+pub fn lemma1_holds(a: usize, b: usize, t: &[usize]) -> bool {
+    assert!(a < b, "Lemma 1 requires a < b");
+    assert!(t.contains(&a) && t.contains(&b), "a and b must be members of T");
+    displacement(a, t) <= displacement(b, t)
+}
+
+/// The decomposition asserted by Lemma 2 for a base-2 de Bruijn edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrapCase {
+    /// `x < y` and `y = m·x + r` (no wrap-around).
+    NoWrap,
+    /// `x > y` and `y = m·x + r − t·m^h` for the stated `t` (wraps).
+    Wrap {
+        /// The wrap multiplicity `t`.
+        t: usize,
+    },
+}
+
+/// Checks Lemma 2: given `h ≥ 1`, `x < 2^h`, `r ∈ {0, 1}` and
+/// `y = X(x, 2, r, 2^h)` with `x ≠ y`, returns which of the two cases holds.
+/// Returns `None` if neither case holds (which would falsify the lemma).
+pub fn lemma2_case(x: usize, r: usize, h: usize) -> Option<WrapCase> {
+    assert!(r <= 1, "Lemma 2 has r in {{0,1}}");
+    let n = pow_nodes(2, h);
+    assert!(x < n);
+    let y = (2 * x + r) % n;
+    if x == y {
+        return None; // self-loop: the lemma only speaks about edges
+    }
+    if x < y && y == 2 * x + r {
+        Some(WrapCase::NoWrap)
+    } else if x > y && 2 * x + r == y + n {
+        Some(WrapCase::Wrap { t: 1 })
+    } else {
+        None
+    }
+}
+
+/// Checks Lemma 3: given `m ≥ 2`, `h ≥ 1`, `x < m^h`, `r ∈ {0, …, m−1}` and
+/// `y = X(x, m, r, m^h)` with `x ≠ y`, returns the wrap multiplicity case.
+/// Returns `None` if the lemma's dichotomy fails.
+pub fn lemma3_case(x: usize, r: usize, m: usize, h: usize) -> Option<WrapCase> {
+    assert!(m >= 2 && r < m, "Lemma 3 has r in {{0,…,m−1}}");
+    let n = pow_nodes(m, h);
+    assert!(x < n);
+    let y = (m * x + r) % n;
+    if x == y {
+        return None;
+    }
+    let t = (m * x + r - y) / n;
+    let valid = if x < y {
+        t <= m - 2
+    } else {
+        (1..=m - 1).contains(&t)
+    };
+    valid.then_some(if t == 0 { WrapCase::NoWrap } else { WrapCase::Wrap { t } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lemma1_worked_example() {
+        // T = {0,1,3,4,6}; δ = a - Rank(a,T): δ_0=0, δ_1=0, δ_3=1, δ_4=1, δ_6=2.
+        let t = vec![0, 1, 3, 4, 6];
+        assert_eq!(displacement(0, &t), 0);
+        assert_eq!(displacement(3, &t), 1);
+        assert_eq!(displacement(6, &t), 2);
+        assert!(lemma1_holds(0, 3, &t));
+        assert!(lemma1_holds(3, 6, &t));
+        assert!(lemma1_holds(1, 4, &t));
+    }
+
+    #[test]
+    #[should_panic]
+    fn lemma1_requires_membership() {
+        lemma1_holds(0, 2, &[0, 1, 3]);
+    }
+
+    #[test]
+    fn lemma2_both_cases_occur() {
+        // x = 3, r = 0, h = 3: y = 6 > 3, no wrap.
+        assert_eq!(lemma2_case(3, 0, 3), Some(WrapCase::NoWrap));
+        // x = 5, r = 1, h = 3: 2·5+1 = 11 ≡ 3 (mod 8), wraps once.
+        assert_eq!(lemma2_case(5, 1, 3), Some(WrapCase::Wrap { t: 1 }));
+        // Self-loops are excluded: x = 0, r = 0.
+        assert_eq!(lemma2_case(0, 0, 3), None);
+        assert_eq!(lemma2_case(7, 1, 3), None);
+    }
+
+    #[test]
+    fn lemma3_wrap_multiplicities() {
+        // Base 3, h = 2 (9 nodes): x = 7, r = 2 → 23 ≡ 5, t = 2 = m-1, x > y.
+        assert_eq!(lemma3_case(7, 2, 3, 2), Some(WrapCase::Wrap { t: 2 }));
+        // x = 2, r = 1 → 7, no wrap, x < y.
+        assert_eq!(lemma3_case(2, 1, 3, 2), Some(WrapCase::NoWrap));
+        // Self-loop x = 4 (digits "11"), r = 1 → 13 ≡ 4.
+        assert_eq!(lemma3_case(4, 1, 3, 2), None);
+    }
+
+    proptest! {
+        /// Lemma 1 holds for arbitrary finite sets and member pairs.
+        #[test]
+        fn lemma1_property(ref values in proptest::collection::btree_set(0usize..200, 2..30)) {
+            let t: Vec<usize> = values.iter().copied().collect();
+            for pair in t.windows(2) {
+                prop_assert!(lemma1_holds(pair[0], pair[1], &t));
+            }
+            // Also check a non-adjacent pair.
+            prop_assert!(lemma1_holds(t[0], *t.last().unwrap(), &t));
+        }
+
+        /// Lemma 2 covers every base-2 de Bruijn edge.
+        #[test]
+        fn lemma2_property(h in 1usize..12, x in 0usize..5000, r in 0usize..2) {
+            let n = pow_nodes(2, h);
+            let x = x % n;
+            let y = (2 * x + r) % n;
+            if x != y {
+                prop_assert!(lemma2_case(x, r, h).is_some(), "x={x}, r={r}, h={h}");
+            }
+        }
+
+        /// Lemma 3 covers every base-m de Bruijn edge.
+        #[test]
+        fn lemma3_property(m in 2usize..6, h in 1usize..6, x in 0usize..10000, r in 0usize..6) {
+            let n = pow_nodes(m, h);
+            let x = x % n;
+            let r = r % m;
+            let y = (m * x + r) % n;
+            if x != y {
+                prop_assert!(lemma3_case(x, r, m, h).is_some(), "x={x}, r={r}, m={m}, h={h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! `(k, G)`-tolerance verification.
+//!
+//! The paper proves Theorems 1 and 2 analytically; this module verifies them
+//! *mechanically* on concrete instances, in two modes:
+//!
+//! * **Exhaustive** — enumerate every fault set of size `k` (there are
+//!   `C(N+k, k)` of them) and check that the rank-based reconfiguration is a
+//!   valid embedding for each. The enumeration is split across worker
+//!   threads with `crossbeam::scope`, since the checks are embarrassingly
+//!   parallel and the instances used in the experiments run into the
+//!   hundreds of thousands of fault sets.
+//! * **Sampled** — draw random fault sets, for instances where exhaustive
+//!   enumeration is intractable.
+//!
+//! The same machinery accepts an *arbitrary* candidate host graph, which is
+//! how the experiments show that a plain de Bruijn graph with a spare node
+//! bolted on is **not** `(k, G)`-tolerant — i.e. that the widened edge
+//! blocks of the paper's construction are actually needed.
+
+use crate::fault::{Combinations, FaultSet};
+use crate::reconfig::reconfigure;
+use ftdb_graph::Graph;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+
+/// Outcome of a tolerance verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ToleranceReport {
+    /// Number of fault sets checked.
+    pub checked: u64,
+    /// Fault sets for which the rank-based reconfiguration failed
+    /// (capped at [`ToleranceReport::MAX_RECORDED`] examples).
+    pub failures: Vec<Vec<usize>>,
+    /// Total number of failing fault sets (even beyond the recorded cap).
+    pub failure_count: u64,
+}
+
+impl ToleranceReport {
+    /// Maximum number of failing fault sets recorded verbatim.
+    pub const MAX_RECORDED: usize = 16;
+
+    /// `true` if every checked fault set admitted a valid reconfiguration.
+    pub fn is_tolerant(&self) -> bool {
+        self.failure_count == 0
+    }
+}
+
+/// Checks a single fault set: does the rank-based reconfiguration of
+/// `target` into `host` avoid the faults and preserve every edge?
+pub fn check_fault_set(target: &Graph, host: &Graph, faults: &FaultSet) -> bool {
+    if host.node_count() < target.node_count() + faults.len() {
+        return false;
+    }
+    let phi = reconfigure(target.node_count(), faults);
+    phi.verify(target, host).is_ok()
+}
+
+/// Exhaustively verifies that `host` is `(k, target)`-tolerant *under the
+/// rank-based reconfiguration*, checking all `C(|host|, k)` fault sets.
+///
+/// `threads` controls the parallel fan-out (use 1 for deterministic
+/// single-thread runs; the result is identical either way).
+pub fn verify_exhaustive(target: &Graph, host: &Graph, k: usize, threads: usize) -> ToleranceReport {
+    let n = host.node_count();
+    let threads = threads.max(1);
+    let failures = Mutex::new(Vec::new());
+    let checked = std::sync::atomic::AtomicU64::new(0);
+    let failure_count = std::sync::atomic::AtomicU64::new(0);
+
+    // Partition the combination stream round-robin across workers: each
+    // worker enumerates all combinations but only checks its share. The
+    // enumeration itself is cheap relative to the embedding check.
+    crossbeam::scope(|scope| {
+        for worker in 0..threads {
+            let failures = &failures;
+            let checked = &checked;
+            let failure_count = &failure_count;
+            scope.spawn(move |_| {
+                let mut local_checked = 0u64;
+                for (index, combo) in Combinations::new(n, k).enumerate() {
+                    if index % threads != worker {
+                        continue;
+                    }
+                    local_checked += 1;
+                    let faults = FaultSet::from_nodes(n, combo.iter().copied());
+                    if !check_fault_set(target, host, &faults) {
+                        failure_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let mut guard = failures.lock();
+                        if guard.len() < ToleranceReport::MAX_RECORDED {
+                            guard.push(combo);
+                        }
+                    }
+                }
+                checked.fetch_add(local_checked, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("verification worker panicked");
+
+    let mut failures = failures.into_inner();
+    failures.sort();
+    ToleranceReport {
+        checked: checked.into_inner(),
+        failures,
+        failure_count: failure_count.into_inner(),
+    }
+}
+
+/// Verifies tolerance on `samples` random fault sets of size `k` drawn with
+/// the given seed (deterministic for a fixed seed).
+pub fn verify_sampled(
+    target: &Graph,
+    host: &Graph,
+    k: usize,
+    samples: u64,
+    seed: u64,
+) -> ToleranceReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = host.node_count();
+    let mut failures = Vec::new();
+    let mut failure_count = 0;
+    for _ in 0..samples {
+        let faults = FaultSet::random(n, k, &mut rng);
+        if !check_fault_set(target, host, &faults) {
+            failure_count += 1;
+            if failures.len() < ToleranceReport::MAX_RECORDED {
+                failures.push(faults.iter().collect());
+            }
+        }
+    }
+    failures.sort();
+    ToleranceReport {
+        checked: samples,
+        failures,
+        failure_count,
+    }
+}
+
+/// Exhaustively verifies tolerance for *all* fault-set sizes `0..=k`
+/// (the definition quantifies over exactly `|V(G')| − N` missing nodes, but
+/// tolerating every smaller fault count follows and is what a real system
+/// needs). Returns one report per fault count.
+pub fn verify_up_to(target: &Graph, host: &Graph, k: usize, threads: usize) -> Vec<ToleranceReport> {
+    (0..=k)
+        .map(|faults| verify_exhaustive(target, host, faults, threads))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ft_debruijn::FtDeBruijn2;
+    use crate::ft_debruijn_m::FtDeBruijnM;
+    use ftdb_topology::{DeBruijn2, DeBruijnM};
+
+    #[test]
+    fn ft_graph_passes_exhaustive_check_k1() {
+        let ft = FtDeBruijn2::new(3, 1);
+        let report = verify_exhaustive(ft.target().graph(), ft.graph(), 1, 2);
+        assert_eq!(report.checked, 9); // C(9,1)
+        assert!(report.is_tolerant(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn ft_graph_passes_exhaustive_check_k2() {
+        let ft = FtDeBruijn2::new(3, 2);
+        let report = verify_exhaustive(ft.target().graph(), ft.graph(), 2, 4);
+        assert_eq!(report.checked, 45); // C(10,2)
+        assert!(report.is_tolerant());
+    }
+
+    #[test]
+    fn base_m_ft_graph_passes_exhaustive_check() {
+        let ft = FtDeBruijnM::new(3, 3, 1);
+        let report = verify_exhaustive(ft.target().graph(), ft.graph(), 1, 4);
+        assert_eq!(report.checked, 28); // C(28,1)
+        assert!(report.is_tolerant());
+    }
+
+    #[test]
+    fn plain_debruijn_with_a_spare_is_not_tolerant() {
+        // Take B_{2,3} and add one isolated spare node: the rank-based
+        // reconfiguration must fail for some single fault, demonstrating that
+        // the widened edge blocks of B^1_{2,3} are necessary.
+        let target = DeBruijn2::new(3);
+        let mut builder = ftdb_graph::GraphBuilder::new(9);
+        builder.add_edges(target.graph().edges());
+        let host = builder.build();
+        let report = verify_exhaustive(target.graph(), &host, 1, 2);
+        assert!(!report.is_tolerant());
+        assert!(report.failure_count > 0);
+        assert!(!report.failures.is_empty());
+    }
+
+    #[test]
+    fn sampled_and_exhaustive_agree_on_tolerant_instance() {
+        let ft = FtDeBruijnM::new(2, 4, 2);
+        let exhaustive = verify_exhaustive(ft.target().graph(), ft.graph(), 2, 4);
+        let sampled = verify_sampled(ft.target().graph(), ft.graph(), 2, 200, 42);
+        assert!(exhaustive.is_tolerant());
+        assert!(sampled.is_tolerant());
+        assert_eq!(sampled.checked, 200);
+    }
+
+    #[test]
+    fn verify_up_to_covers_every_fault_count() {
+        let ft = FtDeBruijn2::new(3, 2);
+        let reports = verify_up_to(ft.target().graph(), ft.graph(), 2, 2);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(ToleranceReport::is_tolerant));
+        assert_eq!(reports[0].checked, 1);
+        assert_eq!(reports[1].checked, 10);
+        assert_eq!(reports[2].checked, 45);
+    }
+
+    #[test]
+    fn single_thread_and_multi_thread_results_match() {
+        let ft = FtDeBruijn2::new(3, 2);
+        let a = verify_exhaustive(ft.target().graph(), ft.graph(), 2, 1);
+        let b = verify_exhaustive(ft.target().graph(), ft.graph(), 2, 8);
+        assert_eq!(a.checked, b.checked);
+        assert_eq!(a.failure_count, b.failure_count);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn degenerate_smaller_de_bruijn_host_fails() {
+        // A host that is simply too small can never be tolerant.
+        let target = DeBruijnM::new(2, 3);
+        let host = DeBruijn2::new(3);
+        let report = verify_exhaustive(target.graph(), host.graph(), 1, 1);
+        assert!(!report.is_tolerant());
+    }
+}

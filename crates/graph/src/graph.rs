@@ -1,0 +1,219 @@
+//! The core undirected simple-graph type.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`Graph`].
+///
+/// Nodes of a graph with `n` nodes are always `0..n`. The paper labels the
+/// nodes of `B_{m,h}` and of the fault-tolerant graphs with consecutive
+/// integers starting at 0, so a plain index is the natural representation.
+pub type NodeId = usize;
+
+/// A compact undirected simple graph (no self-loops, no parallel edges).
+///
+/// Adjacency lists are kept sorted so that `has_edge` is `O(log d)` and
+/// neighbour iteration is deterministic. The structure is immutable once
+/// built; use [`crate::GraphBuilder`] to construct one.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `adjacency[v]` is the sorted list of neighbours of `v`.
+    adjacency: Vec<Vec<NodeId>>,
+    /// Total number of undirected edges.
+    edge_count: usize,
+    /// Optional human-readable name (used by the renderers).
+    name: String,
+}
+
+impl Graph {
+    pub(crate) fn from_adjacency(mut adjacency: Vec<Vec<NodeId>>, name: String) -> Self {
+        let mut edge_count = 0;
+        for (v, list) in adjacency.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            debug_assert!(!list.contains(&v), "self loop on node {v}");
+            edge_count += list.len();
+        }
+        debug_assert!(edge_count % 2 == 0, "asymmetric adjacency");
+        Graph {
+            adjacency,
+            edge_count: edge_count / 2,
+            name,
+        }
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+            name: String::new(),
+        }
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// An optional descriptive name (e.g. `"B(2,4)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy of this graph carrying the given name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count()
+    }
+
+    /// The sorted neighbours of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v]
+    }
+
+    /// The degree (number of incident edges) of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// The maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u >= self.node_count() || v >= self.node_count() {
+            return false;
+        }
+        self.adjacency[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Returns the sorted degree sequence of the graph.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adjacency.iter().map(Vec::len).collect();
+        d.sort_unstable();
+        d
+    }
+
+    /// Checks the internal invariants (sortedness, symmetry, no self-loops).
+    ///
+    /// Intended for tests and debug assertions; `O(V + E log d)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (v, list) in self.adjacency.iter().enumerate() {
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {v} not strictly sorted"));
+            }
+            for &u in list {
+                if u == v {
+                    return Err(format!("self loop on {v}"));
+                }
+                if u >= self.node_count() {
+                    return Err(format!("neighbour {u} of {v} out of range"));
+                }
+                if !self.has_edge(u, v) {
+                    return Err(format!("edge ({v},{u}) not symmetric"));
+                }
+            }
+        }
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        if total != 2 * self.edge_count {
+            return Err(format!(
+                "edge count {} inconsistent with adjacency total {total}",
+                self.edge_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({:?}, |V|={}, |E|={})",
+            self.name,
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_basics() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        let g = b.build().with_name("K3");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree_sequence(), vec![2, 2, 2]);
+        assert_eq!(g.name(), "K3");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_has_edge_is_false() {
+        let g = GraphBuilder::new(2).build();
+        assert!(!g.has_edge(0, 7));
+        assert!(!g.has_edge(7, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! # ftdb-graph
+//!
+//! Graph substrate for the fault-tolerant de Bruijn / shuffle-exchange
+//! network library.
+//!
+//! This crate provides the small, self-contained graph toolkit that the rest
+//! of the workspace is built on:
+//!
+//! * [`Graph`] — a compact undirected simple graph with sorted adjacency
+//!   lists and O(log d) edge queries.
+//! * [`GraphBuilder`] — incremental construction with de-duplication and
+//!   self-loop elision (the paper's constructions are phrased with self-loops
+//!   that "should be ignored").
+//! * [`Embedding`] — injective node maps between graphs together with
+//!   edge-preservation verification, the formal object at the heart of the
+//!   paper's `(k, G)`-tolerance definition.
+//! * [`search`] — a backtracking subgraph-embedding search used to compute
+//!   the shuffle-exchange ⊆ de Bruijn embedding that the paper imports as an
+//!   external result.
+//! * traversal (BFS/DFS/components/diameter), generators, degree/regularity
+//!   properties, and DOT/ASCII rendering used to regenerate the paper's
+//!   figures.
+//!
+//! Everything is implemented from scratch on `std` (plus `rand` for the
+//! randomised helpers) so the workspace has no external graph dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod builder;
+pub mod embedding;
+pub mod generators;
+pub mod graph;
+pub mod ops;
+pub mod properties;
+pub mod render;
+pub mod search;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use embedding::Embedding;
+pub use graph::{Graph, NodeId};

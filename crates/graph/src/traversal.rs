@@ -1,0 +1,235 @@
+//! Breadth/depth-first traversal, connectivity and distance computations.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `source`.
+///
+/// Returns a vector `dist` where `dist[v]` is the hop distance from `source`
+/// to `v`, or `None` if `v` is unreachable.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    assert!(source < g.node_count(), "source out of range");
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued node always has a distance");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns a shortest path from `source` to `target` (inclusive of both) as a
+/// list of node ids, or `None` if no path exists.
+pub fn shortest_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+    assert!(source < g.node_count() && target < g.node_count());
+    if source == target {
+        return Some(vec![source]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut visited = BitSet::new(g.node_count());
+    visited.insert(source);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if visited.insert(v) {
+                parent[v] = Some(u);
+                if v == target {
+                    let mut path = vec![target];
+                    let mut cur = target;
+                    while let Some(p) = parent[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Depth-first preorder starting from `source`, restricted to the connected
+/// component of `source`.
+pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    assert!(source < g.node_count());
+    let mut visited = BitSet::new(g.node_count());
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if !visited.insert(u) {
+            continue;
+        }
+        order.push(u);
+        // Push in reverse so lower-numbered neighbours are visited first.
+        for &v in g.neighbors(u).iter().rev() {
+            if !visited.contains(v) {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Computes the connected components of `g`.
+///
+/// Returns `(component_of, count)` where `component_of[v]` is the component
+/// index of node `v` and `count` is the number of components.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[start] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Returns `true` if the graph is connected (the empty graph and the
+/// single-node graph count as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).1 == 1
+}
+
+/// The eccentricity of `v`: the maximum distance from `v` to any reachable
+/// node. Returns `None` if some node is unreachable from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<usize> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0;
+    for d in dist {
+        match d {
+            Some(d) => ecc = ecc.max(d),
+            None => return None,
+        }
+    }
+    Some(ecc)
+}
+
+/// The diameter of the graph (maximum eccentricity), or `None` if the graph
+/// is disconnected or empty.
+///
+/// Runs a BFS from every node: `O(V · (V + E))`; fine for the instance sizes
+/// used in the experiments.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut diam = 0;
+    for v in g.nodes() {
+        diam = diam.max(eccentricity(g, v)?);
+    }
+    Some(diam)
+}
+
+/// The average shortest-path distance over all ordered pairs of distinct
+/// nodes, or `None` if the graph is disconnected or has fewer than 2 nodes.
+pub fn average_distance(g: &Graph) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0usize;
+    for v in g.nodes() {
+        for d in bfs_distances(g, v) {
+            total += d?;
+        }
+    }
+    Some(total as f64 / (n * (n - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let p = generators::path(5);
+        let dist = bfs_distances(&p, 0);
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn shortest_path_on_cycle() {
+        let c = generators::cycle(6);
+        let path = shortest_path(&c, 0, 3).unwrap();
+        assert_eq!(path.len(), 4); // distance 3
+        assert_eq!(path[0], 0);
+        assert_eq!(path[3], 3);
+        assert_eq!(shortest_path(&c, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn shortest_path_disconnected_is_none() {
+        let g = crate::builder::graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(shortest_path(&g, 0, 3).is_none());
+    }
+
+    #[test]
+    fn dfs_visits_component() {
+        let g = crate::builder::graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = crate::builder::graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&generators::cycle(7)));
+        assert!(is_connected(&crate::Graph::empty(1)));
+        assert!(is_connected(&crate::Graph::empty(0)));
+    }
+
+    #[test]
+    fn diameter_of_cycle_and_complete() {
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+        assert_eq!(diameter(&generators::path(4)), Some(3));
+        let disconnected = crate::builder::graph_from_edges(3, &[(0, 1)]);
+        assert_eq!(diameter(&disconnected), None);
+    }
+
+    #[test]
+    fn eccentricity_matches_diameter_endpoint() {
+        let p = generators::path(5);
+        assert_eq!(eccentricity(&p, 0), Some(4));
+        assert_eq!(eccentricity(&p, 2), Some(2));
+    }
+
+    #[test]
+    fn average_distance_complete_graph_is_one() {
+        let k = generators::complete(6);
+        let avg = average_distance(&k).unwrap();
+        assert!((avg - 1.0).abs() < 1e-12);
+        assert!(average_distance(&crate::Graph::empty(1)).is_none());
+    }
+}

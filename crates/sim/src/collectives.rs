@@ -1,0 +1,223 @@
+//! Further Ascend/Descend-class collectives: parallel prefix (scan) and a
+//! generic dimension-exchange driver.
+//!
+//! The paper's argument is about the whole *class* of Ascend/Descend
+//! algorithms, not just all-reduce, so the simulator provides a second
+//! representative: the prefix sum (scan), which is the workhorse behind
+//! packing, sorting and load balancing on these machines. The hypercube
+//! runs it in `h` dimension-exchange steps; the shuffle-exchange emulation
+//! runs it in `2h` steps over the same exchange/shuffle schedule used by
+//! [`crate::ascend_descend`], while tracking which logical hypercube node
+//! currently resides in each shuffle-exchange slot.
+
+use crate::machine::{PhysicalMachine, SimError};
+use ftdb_graph::Embedding;
+use ftdb_topology::ShuffleExchange;
+
+/// Outcome of a scan run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Number of synchronous communication steps consumed.
+    pub steps: usize,
+    /// `prefix[x]` is the inclusive prefix sum of the values of logical
+    /// nodes `0..=x`.
+    pub prefix: Vec<u64>,
+    /// The total (same in every node after the run).
+    pub total: u64,
+}
+
+/// The sequential reference: inclusive prefix sums.
+pub fn sequential_inclusive_scan(values: &[u64]) -> Vec<u64> {
+    let mut acc = 0u64;
+    values
+        .iter()
+        .map(|&v| {
+            acc = acc.wrapping_add(v);
+            acc
+        })
+        .collect()
+}
+
+/// Inclusive prefix sum on the hypercube in `h` dimension-exchange steps.
+///
+/// Every node keeps a pair `(prefix, total)`; when exchanging across
+/// dimension `d`, the node whose bit `d` is 1 adds the partner's running
+/// total to its prefix, and both add each other's totals. This works for
+/// any dimension order, which is what lets the shuffle-exchange emulation
+/// reuse it with its own schedule.
+pub fn scan_hypercube(h: usize, values: &[u64]) -> ScanOutcome {
+    let n = 1usize << h;
+    assert_eq!(values.len(), n, "need one value per logical node");
+    let mut prefix = values.to_vec();
+    let mut total = values.to_vec();
+    for dim in 0..h {
+        let prev_prefix = prefix.clone();
+        let prev_total = total.clone();
+        for (x, (p, t)) in prefix.iter_mut().zip(total.iter_mut()).enumerate() {
+            let partner = x ^ (1 << dim);
+            if x & (1 << dim) != 0 {
+                *p = prev_prefix[x].wrapping_add(prev_total[partner]);
+            }
+            *t = prev_total[x].wrapping_add(prev_total[partner]);
+        }
+    }
+    ScanOutcome {
+        steps: h,
+        total: total[0],
+        prefix,
+    }
+}
+
+/// Inclusive prefix sum with the shuffle-exchange emulation on a physical
+/// machine (same calling convention as
+/// [`crate::ascend_descend::allreduce_shuffle_exchange`]).
+///
+/// Unlike all-reduce, the scan's combining rule is order-sensitive: the
+/// hypercube dimensions must be processed from least to most significant.
+/// The emulation therefore interleaves the exchange steps with *unshuffle*
+/// steps (one exchange + one unshuffle per phase, `2h` steps in total), which
+/// rotates the labels so that phase `i`'s exchange pairs logical nodes that
+/// differ in bit `i`. Each slot carries the identity of the logical
+/// hypercube node whose running `(prefix, total)` pair it currently holds,
+/// so the combining rule knows which side of the dimension each partner is
+/// on.
+pub fn scan_shuffle_exchange(
+    se: &ShuffleExchange,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    values: &[u64],
+) -> Result<ScanOutcome, SimError> {
+    let n = se.node_count();
+    assert_eq!(values.len(), n, "need one value per logical node");
+    assert_eq!(placement.len(), n, "placement must cover every logical node");
+    let h = se.h();
+    // State per physical slot: (logical owner, prefix, total).
+    let mut owner: Vec<usize> = (0..n).collect();
+    let mut prefix = values.to_vec();
+    let mut total = values.to_vec();
+    let mut steps = 0;
+    for dim in 0..h {
+        // The exchange step pairs slots x and x^1; after `dim` unshuffle
+        // steps their owners differ exactly in hypercube dimension `dim`.
+        let prev_prefix = prefix.clone();
+        let prev_total = total.clone();
+        for x in 0..n {
+            let partner = se.exchange(x);
+            machine.check_link(placement.apply(x), placement.apply(partner))?;
+            debug_assert_eq!(owner[x] ^ owner[partner], 1 << dim);
+            if owner[x] & (1 << dim) != 0 {
+                prefix[x] = prev_prefix[x].wrapping_add(prev_total[partner]);
+            }
+            total[x] = prev_total[x].wrapping_add(prev_total[partner]);
+        }
+        steps += 1;
+        // The unshuffle step moves each slot's state (and its owner) along
+        // the unshuffle permutation, lining up the next dimension.
+        let mut next_owner = vec![0usize; n];
+        let mut next_prefix = vec![0u64; n];
+        let mut next_total = vec![0u64; n];
+        for x in 0..n {
+            let dest = se.unshuffle(x);
+            if dest != x {
+                machine.check_link(placement.apply(x), placement.apply(dest))?;
+            }
+            next_owner[dest] = owner[x];
+            next_prefix[dest] = prefix[x];
+            next_total[dest] = total[x];
+        }
+        owner = next_owner;
+        prefix = next_prefix;
+        total = next_total;
+        steps += 1;
+    }
+    // After h unshuffles every slot has rotated all the way around, so slot
+    // x again holds logical node x's state.
+    debug_assert!(owner.iter().enumerate().all(|(slot, &o)| slot == o));
+    Ok(ScanOutcome {
+        steps,
+        total: total[0],
+        prefix,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::PortModel;
+    use ftdb_core::{FaultSet, FtShuffleExchange};
+    use rand::SeedableRng;
+
+    fn values(n: usize, seed: u64) -> Vec<u64> {
+        use rand::RngExt;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..1000u64)).collect()
+    }
+
+    #[test]
+    fn sequential_scan_reference() {
+        assert_eq!(sequential_inclusive_scan(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(sequential_inclusive_scan(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn hypercube_scan_matches_sequential() {
+        for h in 1..=7 {
+            let n = 1 << h;
+            let vals = values(n, h as u64);
+            let out = scan_hypercube(h, &vals);
+            assert_eq!(out.steps, h);
+            assert_eq!(out.prefix, sequential_inclusive_scan(&vals), "h={h}");
+            assert_eq!(out.total, *sequential_inclusive_scan(&vals).last().unwrap());
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_scan_matches_sequential_on_healthy_machine() {
+        for h in 1..=6 {
+            let se = ShuffleExchange::new(h);
+            let n = se.node_count();
+            let machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+            let placement = Embedding::identity(n);
+            let vals = values(n, 100 + h as u64);
+            let out = scan_shuffle_exchange(&se, &placement, &machine, &vals).unwrap();
+            assert_eq!(out.steps, 2 * h, "h={h}");
+            assert_eq!(out.prefix, sequential_inclusive_scan(&vals), "h={h}");
+        }
+    }
+
+    #[test]
+    fn faulty_unprotected_machine_stalls_the_scan() {
+        let h = 4;
+        let se = ShuffleExchange::new(h);
+        let n = se.node_count();
+        let mut machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(7);
+        let result =
+            scan_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values(n, 3));
+        assert!(matches!(result, Err(SimError::FaultyProcessor { node: 7 })));
+    }
+
+    #[test]
+    fn reconfigured_ft_machine_scans_correctly() {
+        let h = 4;
+        let k = 2;
+        let ft = FtShuffleExchange::new(h, k).unwrap();
+        let se = ShuffleExchange::new(h);
+        let n = se.node_count();
+        let vals = values(n, 9);
+        let expected = sequential_inclusive_scan(&vals);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+            let placement = ft.reconfigure_verified(&faults).unwrap();
+            let machine = PhysicalMachine::with_faults(
+                ft.graph().clone(),
+                faults,
+                PortModel::MultiPort,
+            );
+            let out = scan_shuffle_exchange(&se, &placement, &machine, &vals).unwrap();
+            assert_eq!(out.prefix, expected);
+            assert_eq!(out.steps, 2 * h);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Summary statistics for simulation runs.
+
+use crate::routing::PacketOutcome;
+
+/// Aggregated routing statistics over a workload.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct RoutingStats {
+    /// Number of packets delivered.
+    pub delivered: u64,
+    /// Number of packets dropped.
+    pub dropped: u64,
+    /// Total hop count over all delivered packets.
+    pub total_hops: u64,
+    /// Maximum hop count over delivered packets.
+    pub max_hops: usize,
+}
+
+impl RoutingStats {
+    /// Records one packet outcome.
+    pub fn record(&mut self, outcome: &PacketOutcome) {
+        match outcome.hops() {
+            Some(h) => {
+                self.delivered += 1;
+                self.total_hops += h as u64;
+                self.max_hops = self.max_hops.max(h);
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    /// Fraction of packets delivered (1.0 for an empty workload).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// Mean hop count over delivered packets (0.0 if none were delivered).
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &RoutingStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.total_hops += other.total_hops;
+        self.max_hops = self.max_hops.max(other.max_hops);
+    }
+}
+
+/// A labelled slowdown measurement, used by the experiment driver to print
+/// the SIM1/SIM2 tables.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct SlowdownRow {
+    /// Scenario label (e.g. "healthy SE", "1 fault, no spares").
+    pub scenario: String,
+    /// Steps taken by the scenario (`None` means the run stalled).
+    pub steps: Option<usize>,
+    /// Reference step count (native hypercube).
+    pub reference_steps: usize,
+}
+
+impl SlowdownRow {
+    /// The slowdown factor relative to the reference, if the run completed.
+    pub fn slowdown(&self) -> Option<f64> {
+        self.steps
+            .map(|s| s as f64 / self.reference_steps.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimError;
+
+    #[test]
+    fn record_and_summarise() {
+        let mut stats = RoutingStats::default();
+        stats.record(&PacketOutcome::Delivered { path: vec![0, 1, 2] });
+        stats.record(&PacketOutcome::Delivered { path: vec![4] });
+        stats.record(&PacketOutcome::Dropped(SimError::FaultyProcessor { node: 9 }));
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.max_hops, 2);
+        assert!((stats.mean_hops() - 1.0).abs() < 1e-12);
+        assert!((stats.delivery_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let stats = RoutingStats::default();
+        assert_eq!(stats.delivery_ratio(), 1.0);
+        assert_eq!(stats.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = RoutingStats {
+            delivered: 2,
+            dropped: 1,
+            total_hops: 5,
+            max_hops: 3,
+        };
+        let b = RoutingStats {
+            delivered: 1,
+            dropped: 0,
+            total_hops: 7,
+            max_hops: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.delivered, 3);
+        assert_eq!(a.total_hops, 12);
+        assert_eq!(a.max_hops, 7);
+    }
+
+    #[test]
+    fn slowdown_rows() {
+        let ok = SlowdownRow {
+            scenario: "healthy".into(),
+            steps: Some(8),
+            reference_steps: 4,
+        };
+        assert_eq!(ok.slowdown(), Some(2.0));
+        let stalled = SlowdownRow {
+            scenario: "fault, no spares".into(),
+            steps: None,
+            reference_steps: 4,
+        };
+        assert_eq!(stalled.slowdown(), None);
+    }
+}

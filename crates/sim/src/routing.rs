@@ -1,0 +1,260 @@
+//! Packet routing on healthy and faulty machines.
+//!
+//! Two routing strategies are simulated:
+//!
+//! * **Logical (oblivious) routing** — the classic de Bruijn digit-shifting
+//!   route (or shuffle-exchange route), mapped onto the physical machine
+//!   through a placement embedding. This is how a production machine routes:
+//!   cheap, local decisions, fixed path length ≤ `h` (or `2h`). It has no
+//!   notion of faults: if the path crosses a faulty processor the packet is
+//!   lost — the situation the paper's constructions are designed to avoid by
+//!   restoring a fully healthy logical topology.
+//! * **Adaptive (BFS) routing** — shortest healthy path in the surviving
+//!   physical graph. Used as a foil: it shows that even when packets *can*
+//!   be salvaged without spares, they pay latency and the machine loses the
+//!   uniform-step structure that Ascend/Descend algorithms rely on.
+
+use crate::machine::{PhysicalMachine, SimError};
+use crate::metrics::RoutingStats;
+use ftdb_graph::traversal;
+use ftdb_graph::{Embedding, NodeId};
+use ftdb_topology::DeBruijn2;
+
+/// The result of routing one packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// Delivered over the given physical path (hop count = `path.len() - 1`).
+    Delivered {
+        /// The physical path taken, source and target inclusive.
+        path: Vec<NodeId>,
+    },
+    /// Dropped because of the given error.
+    Dropped(SimError),
+}
+
+impl PacketOutcome {
+    /// Hop count if delivered.
+    pub fn hops(&self) -> Option<usize> {
+        match self {
+            PacketOutcome::Delivered { path } => Some(path.len().saturating_sub(1)),
+            PacketOutcome::Dropped(_) => None,
+        }
+    }
+}
+
+/// Routes one packet along the logical de Bruijn route from logical node
+/// `source` to logical node `target`, executing it on `machine` through the
+/// `placement` embedding.
+pub fn route_logical_debruijn(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    source: NodeId,
+    target: NodeId,
+) -> PacketOutcome {
+    let logical_path = db.route(source, target);
+    let mut physical_path = Vec::with_capacity(logical_path.len());
+    for w in logical_path.windows(2) {
+        let (pu, pv) = (placement.apply(w[0]), placement.apply(w[1]));
+        if let Err(e) = machine.check_link(pu, pv) {
+            return PacketOutcome::Dropped(e);
+        }
+    }
+    for &l in &logical_path {
+        let p = placement.apply(l);
+        if !machine.is_healthy(p) {
+            return PacketOutcome::Dropped(SimError::FaultyProcessor { node: p });
+        }
+        physical_path.push(p);
+    }
+    PacketOutcome::Delivered { path: physical_path }
+}
+
+/// Routes one packet adaptively: shortest path between the *physical*
+/// endpoints inside the healthy part of the machine.
+pub fn route_adaptive(
+    machine: &PhysicalMachine,
+    physical_source: NodeId,
+    physical_target: NodeId,
+) -> PacketOutcome {
+    if !machine.is_healthy(physical_source) {
+        return PacketOutcome::Dropped(SimError::FaultyProcessor { node: physical_source });
+    }
+    if !machine.is_healthy(physical_target) {
+        return PacketOutcome::Dropped(SimError::FaultyProcessor { node: physical_target });
+    }
+    // BFS restricted to healthy nodes.
+    let g = machine.graph();
+    let n = g.node_count();
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    parent[physical_source] = physical_source;
+    queue.push_back(physical_source);
+    while let Some(u) = queue.pop_front() {
+        if u == physical_target {
+            break;
+        }
+        for &v in g.neighbors(u) {
+            if machine.is_healthy(v) && parent[v] == usize::MAX {
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    if parent[physical_target] == usize::MAX {
+        return PacketOutcome::Dropped(SimError::Unreachable {
+            source: physical_source,
+            target: physical_target,
+        });
+    }
+    let mut path = vec![physical_target];
+    let mut cur = physical_target;
+    while cur != physical_source {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    PacketOutcome::Delivered { path }
+}
+
+/// Routes a whole workload of logical `(source, target)` pairs with the
+/// oblivious de Bruijn strategy and aggregates statistics.
+pub fn run_logical_workload(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    pairs: &[(NodeId, NodeId)],
+) -> RoutingStats {
+    let mut stats = RoutingStats::default();
+    for &(s, t) in pairs {
+        stats.record(&route_logical_debruijn(db, placement, machine, s, t));
+    }
+    stats
+}
+
+/// Routes a workload of *physical* `(source, target)` pairs adaptively.
+pub fn run_adaptive_workload(
+    machine: &PhysicalMachine,
+    pairs: &[(NodeId, NodeId)],
+) -> RoutingStats {
+    let mut stats = RoutingStats::default();
+    for &(s, t) in pairs {
+        stats.record(&route_adaptive(machine, s, t));
+    }
+    stats
+}
+
+/// A sanity helper used by tests and experiments: the maximum hop count the
+/// oblivious route can take on a healthy machine (the de Bruijn diameter).
+pub fn worst_case_oblivious_hops(db: &DeBruijn2) -> usize {
+    traversal::diameter(db.graph()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::PortModel;
+    use ftdb_core::{FaultSet, FtDeBruijn2};
+    use ftdb_graph::Embedding;
+
+    #[test]
+    fn healthy_machine_delivers_all_logical_packets() {
+        let db = DeBruijn2::new(4);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(db.node_count());
+        for s in 0..db.node_count() {
+            for t in 0..db.node_count() {
+                let out = route_logical_debruijn(&db, &placement, &machine, s, t);
+                let hops = out.hops().expect("healthy machine must deliver");
+                assert!(hops <= db.h());
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_node_drops_logical_packets_through_it() {
+        let db = DeBruijn2::new(4);
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(1);
+        let placement = Embedding::identity(db.node_count());
+        // A route ending at the faulty node is dropped.
+        let out = route_logical_debruijn(&db, &placement, &machine, 5, 1);
+        assert!(matches!(out, PacketOutcome::Dropped(_)));
+        // And so is one that merely passes through it: 8 -> 1 -> 2.
+        let through = route_logical_debruijn(&db, &placement, &machine, 8, 2);
+        assert!(matches!(through, PacketOutcome::Dropped(_)));
+        // Routes that avoid it still work.
+        let ok = route_logical_debruijn(&db, &placement, &machine, 10, 5);
+        assert!(ok.hops().is_some());
+    }
+
+    #[test]
+    fn adaptive_routing_survives_faults_at_a_latency_cost() {
+        let db = DeBruijn2::new(4);
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(1);
+        // 8 -> 2 obliviously goes through 1 (8=1000 -> 0001? shift route) and
+        // is droppable; adaptively it finds another healthy path.
+        let adaptive = route_adaptive(&machine, 8, 2);
+        assert!(adaptive.hops().is_some());
+        // Faulty endpoints are still undeliverable.
+        assert!(matches!(
+            route_adaptive(&machine, 1, 3),
+            PacketOutcome::Dropped(SimError::FaultyProcessor { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn adaptive_routing_reports_unreachable_partitions() {
+        // A path graph cut in the middle.
+        let g = ftdb_graph::generators::path(5);
+        let faults = FaultSet::from_nodes(5, [2]);
+        let machine = PhysicalMachine::with_faults(g, faults, PortModel::SinglePort);
+        assert!(matches!(
+            route_adaptive(&machine, 0, 4),
+            PacketOutcome::Dropped(SimError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfigured_ft_machine_delivers_everything_again() {
+        let ft = FtDeBruijn2::new(4, 1);
+        let db = ft.target().clone();
+        for faulty in [0usize, 7, 16] {
+            let faults = FaultSet::from_nodes(ft.node_count(), [faulty]);
+            let placement = ft.reconfigure_verified(&faults).unwrap();
+            let machine = PhysicalMachine::with_faults(
+                ft.graph().clone(),
+                faults,
+                PortModel::MultiPort,
+            );
+            let pairs: Vec<(usize, usize)> = (0..db.node_count())
+                .flat_map(|s| [(s, (s * 7 + 3) % db.node_count()), (s, 0)])
+                .collect();
+            let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+            assert_eq!(stats.dropped, 0, "faulty={faulty}");
+            assert_eq!(stats.delivered as usize, pairs.len());
+            assert!(stats.max_hops <= db.h());
+        }
+    }
+
+    #[test]
+    fn workload_statistics_accumulate() {
+        let db = DeBruijn2::new(3);
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(3);
+        let placement = Embedding::identity(db.node_count());
+        let pairs = vec![(0, 7), (0, 3), (5, 6)];
+        let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+        assert_eq!(stats.delivered + stats.dropped, 3);
+        assert!(stats.dropped >= 1); // the packet to the faulty node
+        let adaptive = run_adaptive_workload(&machine, &[(0, 7), (6, 2)]);
+        assert_eq!(adaptive.delivered + adaptive.dropped, 2);
+    }
+
+    #[test]
+    fn worst_case_hops_is_the_diameter() {
+        let db = DeBruijn2::new(5);
+        assert_eq!(worst_case_oblivious_hops(&db), 5);
+    }
+}

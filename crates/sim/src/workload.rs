@@ -1,0 +1,113 @@
+//! Traffic and value workload generators for the simulator.
+
+use ftdb_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// Uniform random `(source, target)` pairs over `n` logical nodes
+/// (self-pairs allowed: they simply cost zero hops).
+pub fn uniform_pairs<R: RngExt>(n: usize, count: usize, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect()
+}
+
+/// A random permutation workload: every node sends exactly one packet, and
+/// every node receives exactly one packet.
+pub fn permutation_pairs<R: RngExt>(n: usize, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    let mut targets: Vec<NodeId> = (0..n).collect();
+    targets.shuffle(rng);
+    (0..n).zip(targets).collect()
+}
+
+/// The bit-reversal permutation workload, a classic adversarial pattern for
+/// shuffle-based networks: node `x` sends to the bit-reversal of `x`
+/// (over `h` bits).
+pub fn bit_reversal_pairs(h: usize) -> Vec<(NodeId, NodeId)> {
+    let n = 1usize << h;
+    (0..n)
+        .map(|x| {
+            let mut rev = 0usize;
+            for bit in 0..h {
+                if x & (1 << bit) != 0 {
+                    rev |= 1 << (h - 1 - bit);
+                }
+            }
+            (x, rev)
+        })
+        .collect()
+}
+
+/// All-to-one (hot-spot) workload: every node sends one packet to `root`.
+pub fn all_to_one(n: usize, root: NodeId) -> Vec<(NodeId, NodeId)> {
+    (0..n).map(|s| (s, root)).collect()
+}
+
+/// Per-node initial values for the Ascend/Descend computations: the node
+/// index itself (so the expected all-reduce total is `n(n-1)/2`).
+pub fn index_values(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// Per-node random values plus their expected wrapped sum, for checking
+/// all-reduce results against an independently computed total.
+pub fn random_values<R: RngExt>(n: usize, rng: &mut R) -> (Vec<u64>, u64) {
+    let values: Vec<u64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+    let total = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    (values, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pairs_are_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pairs = uniform_pairs(10, 50, &mut rng);
+        assert_eq!(pairs.len(), 50);
+        assert!(pairs.iter().all(|&(s, t)| s < 10 && t < 10));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let pairs = permutation_pairs(16, &mut rng);
+        assert_eq!(pairs.len(), 16);
+        let mut targets: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bit_reversal_examples() {
+        let pairs = bit_reversal_pairs(3);
+        assert_eq!(pairs.len(), 8);
+        // 001 -> 100, 011 -> 110, palindromes map to themselves.
+        assert_eq!(pairs[1], (1, 4));
+        assert_eq!(pairs[3], (3, 6));
+        assert_eq!(pairs[5], (5, 5));
+        assert_eq!(pairs[7], (7, 7));
+        // Bit reversal is an involution.
+        for &(x, y) in &pairs {
+            assert_eq!(pairs[y].1, x);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_root() {
+        let pairs = all_to_one(5, 3);
+        assert!(pairs.iter().all(|&(_, t)| t == 3));
+        assert_eq!(pairs.len(), 5);
+    }
+
+    #[test]
+    fn value_generators() {
+        assert_eq!(index_values(4), vec![0, 1, 2, 3]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (values, total) = random_values(100, &mut rng);
+        assert_eq!(values.len(), 100);
+        assert_eq!(values.iter().fold(0u64, |a, &b| a.wrapping_add(b)), total);
+    }
+}

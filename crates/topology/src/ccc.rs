@@ -1,0 +1,123 @@
+//! The cube-connected cycles network (Preparata and Vuillemin [11]).
+//!
+//! Mentioned in the paper's introduction as the third major constant-degree
+//! hypercube alternative (and the subject of the authors' companion paper
+//! [2]). Included here so the comparison experiments can report its degree
+//! and so the simulator has a third constant-degree topology available.
+//!
+//! `CCC_d` replaces every node of the hypercube `Q_d` by a cycle of `d`
+//! nodes; node `(x, p)` (cycle `x`, position `p`) is adjacent to its two
+//! cycle neighbours `(x, p±1 mod d)` and across the cube dimension `p` to
+//! `(x ⊕ 2^p, p)`.
+
+use ftdb_graph::{Graph, GraphBuilder, NodeId};
+
+/// The cube-connected cycles network of dimension `d` with `d·2^d` nodes.
+#[derive(Clone, Debug)]
+pub struct CubeConnectedCycles {
+    d: usize,
+    graph: Graph,
+}
+
+impl CubeConnectedCycles {
+    /// Builds `CCC_d` for `d ≥ 3` (for `d < 3` the cycle edges degenerate).
+    ///
+    /// # Panics
+    /// Panics if `d < 1` or the node count overflows.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "CCC needs d >= 1");
+        let cube = 1usize << d;
+        let n = d * cube;
+        let mut b = GraphBuilder::new(n).name(format!("CCC({d})"));
+        for x in 0..cube {
+            for p in 0..d {
+                let v = Self::encode_with(d, x, p);
+                // Cycle edges.
+                b.add_edge(v, Self::encode_with(d, x, (p + 1) % d));
+                // Cube edge across dimension p.
+                b.add_edge(v, Self::encode_with(d, x ^ (1 << p), p));
+            }
+        }
+        CubeConnectedCycles { d, graph: b.build() }
+    }
+
+    fn encode_with(d: usize, x: usize, p: usize) -> NodeId {
+        x * d + p
+    }
+
+    /// Encodes (cycle label `x`, cycle position `p`) as a node id.
+    pub fn encode(&self, x: usize, p: usize) -> NodeId {
+        assert!(p < self.d && x < (1 << self.d));
+        Self::encode_with(self.d, x, p)
+    }
+
+    /// Decodes a node id back into (cycle label, cycle position).
+    pub fn decode(&self, v: NodeId) -> (usize, usize) {
+        (v / self.d, v % self.d)
+    }
+
+    /// The dimension `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The number of nodes, `d·2^d`.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying undirected graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftdb_graph::traversal;
+
+    #[test]
+    fn ccc3_counts() {
+        let c = CubeConnectedCycles::new(3);
+        assert_eq!(c.node_count(), 24);
+        // Every node has exactly 3 neighbours: 2 on its cycle, 1 across the cube.
+        assert!(c.graph().nodes().all(|v| c.graph().degree(v) == 3));
+        assert!(traversal::is_connected(c.graph()));
+    }
+
+    #[test]
+    fn constant_degree_for_all_dimensions() {
+        for d in 3..=7 {
+            let c = CubeConnectedCycles::new(d);
+            assert_eq!(c.graph().max_degree(), 3, "d={d}");
+            assert_eq!(c.node_count(), d << d);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = CubeConnectedCycles::new(4);
+        for x in 0..16 {
+            for p in 0..4 {
+                assert_eq!(c.decode(c.encode(x, p)), (x, p));
+            }
+        }
+    }
+
+    #[test]
+    fn cube_edges_cross_correct_dimension() {
+        let c = CubeConnectedCycles::new(3);
+        let v = c.encode(0b010, 1);
+        let across = c.encode(0b000, 1);
+        assert!(c.graph().has_edge(v, across));
+        // But not across a different dimension at this position.
+        assert!(!c.graph().has_edge(v, c.encode(0b011, 1)));
+    }
+
+    #[test]
+    fn degenerate_small_dimensions_still_build() {
+        assert_eq!(CubeConnectedCycles::new(1).node_count(), 2);
+        assert_eq!(CubeConnectedCycles::new(2).node_count(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! The Section V bus architecture: build the bus implementation of
+//! `B^k(2,h)`, inspect its bus table and bus-degree, tolerate a bus fault,
+//! and reproduce the bus timing trade-off.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p ftdb-examples --bin bus_architecture
+//! ```
+
+use ftdb_core::{BusArchitecture, FtDeBruijn2};
+use ftdb_sim::bus_model::{bus_slowdown, bus_timing_table};
+use ftdb_sim::machine::PortModel;
+
+fn main() {
+    let h = 3;
+    let k = 1;
+    let ft = FtDeBruijn2::new(h, k);
+    let arch = BusArchitecture::from_ft(&ft);
+
+    println!(
+        "bus implementation of B^{k}(2,{h}): {} nodes, {} buses, bus-degree <= 2k+3 = {}",
+        arch.node_count(),
+        arch.buses().len(),
+        arch.degree_bound()
+    );
+    println!("\nbus table (owner : block of 2k+2 consecutive nodes):");
+    for bus in arch.buses() {
+        println!("  bus {:>2} : {:?}", bus.owner, bus.members);
+    }
+    println!("\nmeasured maximum bus-degree: {}", arch.max_bus_degree());
+
+    // Point-to-point connectivity is fully preserved.
+    assert!(ftdb_graph::properties::same_edge_set(
+        &arch.implied_graph(),
+        ft.graph()
+    ));
+    println!("bus-implied connectivity equals B^{k}(2,{h}): yes");
+
+    // A bus fault is charged to its owner and absorbed by the spare.
+    let faulty_bus = 4;
+    let faults = arch.bus_faults_to_node_faults([faulty_bus]);
+    let phi = ft
+        .reconfigure_verified(&faults)
+        .expect("a single bus fault is absorbed");
+    println!(
+        "\nbus {faulty_bus} fails -> node {faulty_bus} treated as faulty -> logical node {faulty_bus} now hosted at physical node {}",
+        phi.apply(faulty_bus)
+    );
+
+    // The timing trade-off of Section V.
+    println!("\nbus timing (slots per superstep, every node sends d distinct values):");
+    for row in bus_timing_table(&[1, 2, 4]) {
+        println!(
+            "  d = {}: p2p multi-port {}, p2p single-port {}, bus {}  (bus vs multi-port {:.1}x, vs single-port {:.1}x)",
+            row.fanout,
+            row.p2p_multi_port,
+            row.p2p_single_port,
+            row.bus,
+            row.slowdown_vs_multi_port,
+            row.slowdown_vs_single_port
+        );
+    }
+    println!(
+        "\nwith two-port processors the bus costs {:.0}x; with single-port processors it costs {:.0}x",
+        bus_slowdown(PortModel::MultiPort, 2),
+        bus_slowdown(PortModel::SinglePort, 2)
+    );
+}

@@ -1,0 +1,118 @@
+//! Property-based integration tests spanning the whole workspace.
+
+use ftdb_core::{FaultSet, FtDeBruijn2, FtDeBruijnM, NaturalFtShuffleExchange};
+use ftdb_graph::{ops, properties, traversal};
+use ftdb_topology::labels::pow_nodes;
+use ftdb_topology::{DeBruijn2, DeBruijnM, ShuffleExchange};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 end to end, over random parameters and random fault sets.
+    #[test]
+    fn ft_base2_tolerates_random_faults(h in 3usize..7, k in 0usize..5, seed in 0u64..10_000) {
+        let ft = FtDeBruijn2::new(h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let phi = ft.reconfigure_verified(&faults).expect("Theorem 1");
+        // The image avoids every fault and is strictly increasing.
+        prop_assert!(phi.as_slice().iter().all(|&v| !faults.contains(v)));
+        prop_assert!(phi.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Theorem 2 end to end.
+    #[test]
+    fn ft_base_m_tolerates_random_faults(m in 2usize..5, h in 3usize..5, k in 0usize..4, seed in 0u64..10_000) {
+        let ft = FtDeBruijnM::new(m, h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        prop_assert!(ft.reconfigure_verified(&faults).is_ok());
+    }
+
+    /// The fault-tolerant graph always contains the target's node count plus
+    /// exactly k spares, and its degree never exceeds the closed-form bound.
+    #[test]
+    fn ft_graph_size_and_degree_bounds(m in 2usize..5, h in 3usize..5, k in 0usize..4) {
+        let ft = FtDeBruijnM::new(m, h, k);
+        prop_assert_eq!(ft.node_count(), pow_nodes(m, h) + k);
+        prop_assert!(ft.graph().max_degree() <= 4 * (m - 1) * k + 2 * m);
+        prop_assert!(traversal::is_connected(ft.graph()));
+    }
+
+    /// Removing any k nodes from the FT graph leaves a subgraph into which
+    /// the target embeds — stated through the induced-subgraph API rather
+    /// than the embedding API, mirroring the paper's definition verbatim.
+    #[test]
+    fn induced_subgraph_definition_of_tolerance(h in 3usize..6, k in 1usize..4, seed in 0u64..10_000) {
+        let ft = FtDeBruijn2::new(h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let surviving = ops::remove_nodes(ft.graph(), faults.as_bitset());
+        prop_assert_eq!(surviving.graph.node_count(), ft.node_count() - k);
+        // The rank map, re-expressed in the induced subgraph's node ids, is
+        // the identity prefix — i.e. logical node x sits at induced node x.
+        let phi = ft.reconfigure(&faults);
+        for x in 0..ft.target().node_count() {
+            prop_assert_eq!(surviving.from_original(phi.apply(x)), Some(x));
+        }
+        // And every target edge must be present inside the induced subgraph.
+        for (a, b) in ft.target().graph().edges() {
+            prop_assert!(surviving.graph.has_edge(a, b));
+        }
+    }
+
+    /// The shuffle-exchange and de Bruijn graphs of the same h have the same
+    /// node count, and SE's edge count is strictly smaller (it is the sparser
+    /// network).
+    #[test]
+    fn se_is_sparser_than_debruijn(h in 3usize..9) {
+        let se = ShuffleExchange::new(h);
+        let db = DeBruijn2::new(h);
+        prop_assert_eq!(se.node_count(), db.node_count());
+        prop_assert!(se.graph().edge_count() < db.graph().edge_count());
+    }
+
+    /// The natural fault-tolerant shuffle-exchange always contains the
+    /// fault-tolerant de Bruijn graph of the same parameters (it adds the
+    /// exchange blocks on top), hence its degree dominates.
+    #[test]
+    fn natural_ftse_contains_ft_debruijn(h in 3usize..6, k in 0usize..4) {
+        let ftse = NaturalFtShuffleExchange::new(h, k);
+        let ftdb = FtDeBruijn2::new(h, k);
+        prop_assert!(ops::is_identity_subgraph(ftdb.graph(), ftse.graph()));
+        prop_assert!(ftse.graph().max_degree() >= ftdb.graph().max_degree());
+    }
+
+    /// Building the same topology twice gives identical graphs (construction
+    /// is deterministic), and relabelling by a random permutation preserves
+    /// the degree profile.
+    #[test]
+    fn construction_is_deterministic(m in 2usize..5, h in 2usize..5, seed in 0u64..10_000) {
+        let a = DeBruijnM::new(m, h);
+        let b = DeBruijnM::new(m, h);
+        prop_assert!(properties::same_edge_set(a.graph(), b.graph()));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..a.node_count()).collect();
+        use rand::seq::SliceRandom;
+        perm.shuffle(&mut rng);
+        let relabelled = ops::relabel(a.graph(), &perm);
+        prop_assert!(properties::same_degree_profile(a.graph(), &relabelled));
+    }
+
+    /// Spares at the end: with fewer than k faults, the unused spares are
+    /// exactly the highest-ranked healthy nodes.
+    #[test]
+    fn unused_spares_are_the_tail(h in 3usize..6, k in 2usize..5, faults_used in 0usize..3, seed in 0u64..10_000) {
+        let ft = FtDeBruijn2::new(h, k);
+        let f = faults_used.min(k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let faults = FaultSet::random(ft.node_count(), f, &mut rng);
+        let phi = ft.reconfigure(&faults);
+        let spares = ftdb_core::reconfig::unused_spares(&phi, &faults);
+        prop_assert_eq!(spares.len(), k - f);
+        let max_used = phi.as_slice().iter().copied().max().unwrap_or(0);
+        prop_assert!(spares.iter().all(|&s| s > max_used));
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: fault-tolerant shuffle-exchange networks,
+//! exercised through the Ascend/Descend simulator.
+
+use ftdb_core::verify::verify_exhaustive;
+use ftdb_core::{FaultSet, FtShuffleExchange, NaturalFtShuffleExchange};
+use ftdb_graph::Embedding;
+use ftdb_sim::ascend_descend::{
+    allreduce_hypercube, allreduce_shuffle_exchange, descend_shuffle_exchange,
+};
+use ftdb_sim::machine::{PhysicalMachine, PortModel, SimError};
+use ftdb_sim::workload;
+use ftdb_topology::se_embedding::embed_se_into_debruijn;
+use ftdb_topology::{DeBruijn2, ShuffleExchange};
+use rand::SeedableRng;
+
+#[test]
+fn se_embeds_into_debruijn_for_all_practical_h() {
+    // The external containment the paper cites, verified constructively.
+    for h in 2..=6 {
+        let se = ShuffleExchange::new(h);
+        let db = DeBruijn2::new(h);
+        let embedding = embed_se_into_debruijn(h)
+            .into_embedding()
+            .unwrap_or_else(|| panic!("no SE⊆DB embedding found for h={h}"));
+        embedding.verify(se.graph(), db.graph()).unwrap();
+    }
+}
+
+#[test]
+fn ft_shuffle_exchange_via_db_is_exhaustively_tolerant() {
+    for (h, k) in [(3, 1), (3, 2), (4, 1)] {
+        let ft = FtShuffleExchange::new(h, k).unwrap();
+        // The right reconfiguration for the SE target composes the SE ⊆ DB
+        // containment with the rank map, so enumerate the fault sets and
+        // check through the construction's own reconfigure method.
+        let mut all_ok = true;
+        let combos = ftdb_core::fault::Combinations::new(ft.node_count(), k);
+        for combo in combos {
+            let faults = FaultSet::from_nodes(ft.node_count(), combo.iter().copied());
+            all_ok &= ft.reconfigure_verified(&faults).is_ok();
+        }
+        assert!(all_ok, "FT-SE via DB failed for h={h}, k={k}");
+    }
+}
+
+#[test]
+fn natural_ft_shuffle_exchange_is_exhaustively_tolerant() {
+    for (h, k) in [(3, 1), (3, 2), (4, 1), (4, 2)] {
+        let se = NaturalFtShuffleExchange::new(h, k);
+        let report = verify_exhaustive(se.target().graph(), se.graph(), k, 4);
+        assert!(report.is_tolerant(), "natural SE^{k}_{h}: {:?}", report.failures);
+    }
+}
+
+#[test]
+fn ascend_and_descend_agree_on_the_total() {
+    let h = 5;
+    let se = ShuffleExchange::new(h);
+    let n = se.node_count();
+    let machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+    let placement = Embedding::identity(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let (values, total) = workload::random_values(n, &mut rng);
+    let reference = allreduce_hypercube(h, &values);
+    let ascend = allreduce_shuffle_exchange(&se, &placement, &machine, &values).unwrap();
+    let descend = descend_shuffle_exchange(&se, &placement, &machine, &values).unwrap();
+    assert!(reference.values.iter().all(|&v| v == total));
+    assert!(ascend.values.iter().all(|&v| v == total));
+    assert!(descend.values.iter().all(|&v| v == total));
+    assert_eq!(ascend.steps, 2 * h);
+    assert_eq!(descend.steps, 2 * h);
+    assert_eq!(reference.steps, h);
+}
+
+#[test]
+fn every_single_fault_stalls_the_unprotected_se_machine() {
+    // The motivating claim, exhaustively: whichever single processor fails,
+    // the Ascend run on the spare-less SE machine cannot complete, because
+    // Ascend uses every node.
+    let h = 4;
+    let se = ShuffleExchange::new(h);
+    let n = se.node_count();
+    let values = workload::index_values(n);
+    for faulty in 0..n {
+        let mut machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(faulty);
+        let result =
+            allreduce_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values);
+        assert!(
+            matches!(result, Err(SimError::FaultyProcessor { .. })),
+            "faulty={faulty} unexpectedly completed"
+        );
+    }
+}
+
+#[test]
+fn every_single_fault_is_absorbed_by_the_ft_machine() {
+    let h = 4;
+    let k = 1;
+    let ft = FtShuffleExchange::new(h, k).unwrap();
+    let se = ShuffleExchange::new(h);
+    let n = se.node_count();
+    let values = workload::index_values(n);
+    let expected = allreduce_hypercube(h, &values).values[0];
+    for faulty in 0..ft.node_count() {
+        let faults = FaultSet::from_nodes(ft.node_count(), [faulty]);
+        let placement = ft.reconfigure_verified(&faults).unwrap();
+        let machine =
+            PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
+        let out = allreduce_shuffle_exchange(&se, &placement, &machine, &values)
+            .unwrap_or_else(|e| panic!("faulty={faulty}: {e}"));
+        assert_eq!(out.steps, 2 * h);
+        assert!(out.values.iter().all(|&v| v == expected));
+    }
+}
+
+#[test]
+fn natural_construction_also_supports_the_ascend_run() {
+    // The degree-(6k+4)-style construction is a valid host too: its
+    // reconfiguration embeds SE directly (no containment needed).
+    let h = 4;
+    let k = 2;
+    let ftse = NaturalFtShuffleExchange::new(h, k);
+    let se = ShuffleExchange::new(h);
+    let values = workload::index_values(se.node_count());
+    let expected = allreduce_hypercube(h, &values).values[0];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for _ in 0..20 {
+        let faults = FaultSet::random(ftse.node_count(), k, &mut rng);
+        let placement = ftse.reconfigure_verified(&faults).unwrap();
+        let machine =
+            PhysicalMachine::with_faults(ftse.graph().clone(), faults, PortModel::MultiPort);
+        let out = allreduce_shuffle_exchange(&se, &placement, &machine, &values).unwrap();
+        assert!(out.values.iter().all(|&v| v == expected));
+    }
+}
