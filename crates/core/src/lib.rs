@@ -35,7 +35,8 @@
 //! // Target: the 16-node de Bruijn graph B(2,4). Tolerate k = 2 faults.
 //! let ft = FtDeBruijn2::new(4, 2);
 //! assert_eq!(ft.node_count(), 18);
-//! assert!(ft.graph().max_degree() <= 4 * 2 + 4);
+//! assert_eq!(ft.degree_bound(), 4 * 2 + 4); // Corollary 1
+//! assert!(ft.graph().max_degree() <= ft.degree_bound());
 //!
 //! // Any two nodes may fail…
 //! let faults = FaultSet::from_nodes(ft.node_count(), [3, 11]);

@@ -23,6 +23,19 @@
 //!
 //! Everything is implemented from scratch on `std` (plus `rand` for the
 //! randomised helpers) so the workspace has no external graph dependency.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ftdb_graph::GraphBuilder;
+//!
+//! let mut builder = GraphBuilder::new(4);
+//! builder.add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)]); // self-loop elided
+//! let graph = builder.build();
+//! assert_eq!(graph.node_count(), 4);
+//! assert_eq!(graph.edge_count(), 4);
+//! assert!(graph.has_edge(2, 1) && !graph.has_edge(0, 2));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,19 @@
 //! * [`se_embedding`] — a constructive embedding of `SE_h` into `B_{2,h}`,
 //!   the external result the paper's fault-tolerant shuffle-exchange
 //!   construction relies on.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ftdb_topology::{DeBruijn2, ShuffleExchange};
+//!
+//! // B(2,4) and SE_4 share their 2^4 nodes; SE is the sparser network.
+//! let db = DeBruijn2::new(4);
+//! let se = ShuffleExchange::new(4);
+//! assert_eq!(db.node_count(), 16);
+//! assert_eq!(se.node_count(), db.node_count());
+//! assert!(se.graph().edge_count() < db.graph().edge_count());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

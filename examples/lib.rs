@@ -1,1 +1,26 @@
-//! Shared helpers for the runnable examples (currently none).
+//! Shared helpers for the runnable examples.
+//!
+//! The example binaries live directly in this directory and are declared as
+//! explicit `[[bin]]` targets in `Cargo.toml`; run any of them with
+//! `cargo run -p ftdb-examples --bin <name>` where `<name>` is one of
+//! `quickstart`, `fault_recovery`, `routing_under_faults`,
+//! `network_comparison` or `bus_architecture`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Renders the underlined title banner each example binary prints first.
+pub fn section(title: &str) -> String {
+    format!("{title}\n{}", "-".repeat(title.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn section_underlines_to_title_width() {
+        let s = super::section("abc");
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("abc"));
+        assert_eq!(lines.next(), Some("---"));
+    }
+}

@@ -14,6 +14,7 @@ use ftdb_analysis::comparison::{
 use ftdb_core::baseline::SpBaseline;
 
 fn main() {
+    println!("{}\n", ftdb_examples::section("Degree cost of fault tolerance: paper bounds vs measured"));
     let mut args = std::env::args().skip(1);
     let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);

@@ -30,6 +30,7 @@ fn print_stats(label: &str, stats: &RoutingStats) {
 }
 
 fn main() {
+    println!("{}\n", ftdb_examples::section("Packet routing on healthy, faulty and reconfigured machines"));
     let mut args = std::env::args().skip(1);
     let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);

@@ -5,7 +5,6 @@ use ftdb_graph::{ops, properties, traversal};
 use ftdb_topology::labels::pow_nodes;
 use ftdb_topology::{DeBruijn2, DeBruijnM, ShuffleExchange};
 use proptest::prelude::*;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -14,7 +13,7 @@ proptest! {
     #[test]
     fn ft_base2_tolerates_random_faults(h in 3usize..7, k in 0usize..5, seed in 0u64..10_000) {
         let ft = FtDeBruijn2::new(h, k);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftdb_tests::seeded_rng(seed);
         let faults = FaultSet::random(ft.node_count(), k, &mut rng);
         let phi = ft.reconfigure_verified(&faults).expect("Theorem 1");
         // The image avoids every fault and is strictly increasing.
@@ -26,7 +25,7 @@ proptest! {
     #[test]
     fn ft_base_m_tolerates_random_faults(m in 2usize..5, h in 3usize..5, k in 0usize..4, seed in 0u64..10_000) {
         let ft = FtDeBruijnM::new(m, h, k);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftdb_tests::seeded_rng(seed);
         let faults = FaultSet::random(ft.node_count(), k, &mut rng);
         prop_assert!(ft.reconfigure_verified(&faults).is_ok());
     }
@@ -47,7 +46,7 @@ proptest! {
     #[test]
     fn induced_subgraph_definition_of_tolerance(h in 3usize..6, k in 1usize..4, seed in 0u64..10_000) {
         let ft = FtDeBruijn2::new(h, k);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftdb_tests::seeded_rng(seed);
         let faults = FaultSet::random(ft.node_count(), k, &mut rng);
         let surviving = ops::remove_nodes(ft.graph(), faults.as_bitset());
         prop_assert_eq!(surviving.graph.node_count(), ft.node_count() - k);
@@ -93,7 +92,7 @@ proptest! {
         let a = DeBruijnM::new(m, h);
         let b = DeBruijnM::new(m, h);
         prop_assert!(properties::same_edge_set(a.graph(), b.graph()));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftdb_tests::seeded_rng(seed);
         let mut perm: Vec<usize> = (0..a.node_count()).collect();
         use rand::seq::SliceRandom;
         perm.shuffle(&mut rng);
@@ -107,7 +106,7 @@ proptest! {
     fn unused_spares_are_the_tail(h in 3usize..6, k in 2usize..5, faults_used in 0usize..3, seed in 0u64..10_000) {
         let ft = FtDeBruijn2::new(h, k);
         let f = faults_used.min(k);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ftdb_tests::seeded_rng(seed);
         let faults = FaultSet::random(ft.node_count(), f, &mut rng);
         let phi = ft.reconfigure(&faults);
         let spares = ftdb_core::reconfig::unused_spares(&phi, &faults);

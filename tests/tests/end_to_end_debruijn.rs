@@ -8,7 +8,6 @@ use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::run_logical_workload;
 use ftdb_sim::workload;
 use ftdb_topology::DeBruijn2;
-use rand::SeedableRng;
 
 #[test]
 fn base2_construction_is_exhaustively_tolerant_for_small_instances() {
@@ -49,7 +48,7 @@ fn tolerance_holds_for_every_fault_count_up_to_k() {
 fn reconfigured_machine_routes_an_entire_permutation() {
     let ft = FtDeBruijn2::new(6, 3);
     let db = ft.target().clone();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = ftdb_tests::seeded_rng(11);
     let faults = FaultSet::random(ft.node_count(), 3, &mut rng);
     let placement = ft.reconfigure_verified(&faults).unwrap();
     let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
@@ -63,7 +62,7 @@ fn reconfigured_machine_routes_an_entire_permutation() {
 #[test]
 fn unprotected_machine_loses_packets_under_the_same_faults() {
     let db = DeBruijn2::new(6);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = ftdb_tests::seeded_rng(11);
     let faults = FaultSet::random(db.node_count(), 3, &mut rng);
     let machine =
         PhysicalMachine::with_faults(db.graph().clone(), faults, PortModel::MultiPort);
@@ -78,7 +77,7 @@ fn surviving_subgraph_is_connected_after_max_faults() {
     // removing any k nodes the embedded target keeps the healthy part that
     // hosts it connected (the target de Bruijn graph is connected).
     let ft = FtDeBruijn2::new(5, 2);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = ftdb_tests::seeded_rng(3);
     for _ in 0..25 {
         let faults = FaultSet::random(ft.node_count(), 2, &mut rng);
         let phi = ft.reconfigure_verified(&faults).unwrap();
@@ -96,7 +95,7 @@ fn surviving_subgraph_is_connected_after_max_faults() {
 #[test]
 fn displacements_never_exceed_k_in_practice() {
     let ft = FtDeBruijn2::new(7, 5);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = ftdb_tests::seeded_rng(5);
     for _ in 0..50 {
         let faults = FaultSet::random(ft.node_count(), 5, &mut rng);
         let phi = ft.reconfigure(&faults);

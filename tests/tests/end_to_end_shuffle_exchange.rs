@@ -11,7 +11,6 @@ use ftdb_sim::machine::{PhysicalMachine, PortModel, SimError};
 use ftdb_sim::workload;
 use ftdb_topology::se_embedding::embed_se_into_debruijn;
 use ftdb_topology::{DeBruijn2, ShuffleExchange};
-use rand::SeedableRng;
 
 #[test]
 fn se_embeds_into_debruijn_for_all_practical_h() {
@@ -59,7 +58,7 @@ fn ascend_and_descend_agree_on_the_total() {
     let n = se.node_count();
     let machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
     let placement = Embedding::identity(n);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut rng = ftdb_tests::seeded_rng(77);
     let (values, total) = workload::random_values(n, &mut rng);
     let reference = allreduce_hypercube(h, &values);
     let ascend = allreduce_shuffle_exchange(&se, &placement, &machine, &values).unwrap();
@@ -124,7 +123,7 @@ fn natural_construction_also_supports_the_ascend_run() {
     let se = ShuffleExchange::new(h);
     let values = workload::index_values(se.node_count());
     let expected = allreduce_hypercube(h, &values).values[0];
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = ftdb_tests::seeded_rng(13);
     for _ in 0..20 {
         let faults = FaultSet::random(ftse.node_count(), k, &mut rng);
         let placement = ftse.reconfigure_verified(&faults).unwrap();

@@ -1,0 +1,121 @@
+//! Edge cases of the reconfiguration algorithm: zero spares, fault sets
+//! consisting entirely of spares, and fault sets that exceed the budget.
+//!
+//! The paper's Theorems 1 and 2 quantify over "at most k faults"; these
+//! tests pin down the boundary behaviour of the implementation at both ends
+//! of that range.
+
+use ftdb_core::reconfig::{displacements, unused_spares};
+use ftdb_core::{FaultSet, FtDeBruijn2, FtDeBruijnM};
+use ftdb_tests::seeded_rng;
+
+/// With k = 0 there are no spares: the fault-tolerant graph *is* the target
+/// and the only legal fault set is empty, reconfigured by the identity.
+#[test]
+fn k_zero_identity_reconfiguration() {
+    for h in 2..=6 {
+        let ft = FtDeBruijn2::new(h, 0);
+        assert_eq!(ft.node_count(), 1 << h);
+        let faults = FaultSet::empty(ft.node_count());
+        let phi = ft.reconfigure_verified(&faults).expect("k = 0, no faults");
+        assert_eq!(
+            phi.as_slice(),
+            (0..ft.node_count()).collect::<Vec<_>>().as_slice()
+        );
+        assert!(displacements(&phi).iter().all(|&d| d == 0));
+        assert!(unused_spares(&phi, &faults).is_empty());
+    }
+}
+
+/// Same boundary for the base-m construction.
+#[test]
+fn k_zero_identity_reconfiguration_base_m() {
+    let ft = FtDeBruijnM::new(3, 3, 0);
+    let faults = FaultSet::empty(ft.node_count());
+    let phi = ft.reconfigure_verified(&faults).expect("k = 0, no faults");
+    assert_eq!(phi.as_slice().len(), 27);
+    assert!(displacements(&phi).iter().all(|&d| d == 0));
+}
+
+/// With k = 0, even a single fault exceeds the budget and must be rejected.
+#[test]
+#[should_panic(expected = "exceed the fault budget")]
+fn k_zero_rejects_any_fault() {
+    let ft = FtDeBruijn2::new(4, 0);
+    let faults = FaultSet::from_nodes(ft.node_count(), [0]);
+    let _ = ft.reconfigure(&faults);
+}
+
+/// Killing exactly the k spare nodes (the highest-numbered ones) leaves the
+/// target nodes untouched: reconfiguration is the identity and no healthy
+/// spare remains.
+#[test]
+fn all_spare_fault_set_is_identity() {
+    let (h, k) = (4, 3);
+    let ft = FtDeBruijn2::new(h, k);
+    let n = ft.target().node_count();
+    let faults = FaultSet::from_nodes(ft.node_count(), n..n + k);
+    let phi = ft.reconfigure_verified(&faults).expect("spares-only faults");
+    assert_eq!(phi.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
+    assert!(displacements(&phi).iter().all(|&d| d == 0));
+    assert!(unused_spares(&phi, &faults).is_empty());
+}
+
+/// The spares-only fault set for the base-m construction.
+#[test]
+fn all_spare_fault_set_is_identity_base_m() {
+    let (m, h, k) = (3, 3, 2);
+    let ft = FtDeBruijnM::new(m, h, k);
+    let n = ft.target().node_count();
+    let faults = FaultSet::from_nodes(ft.node_count(), n..n + k);
+    let phi = ft.reconfigure_verified(&faults).expect("spares-only faults");
+    assert_eq!(phi.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
+}
+
+/// A fault set larger than the budget k is rejected by the construction.
+#[test]
+#[should_panic(expected = "exceed the fault budget")]
+fn over_budget_fault_set_rejected() {
+    let ft = FtDeBruijn2::new(4, 2);
+    let faults = FaultSet::from_nodes(ft.node_count(), [1, 5, 9]);
+    let _ = ft.reconfigure(&faults);
+}
+
+/// `FaultSet::random` refuses to draw more faults than the universe holds.
+#[test]
+#[should_panic(expected = "cannot fault")]
+fn random_fault_set_larger_than_universe_rejected() {
+    let mut rng = seeded_rng(7);
+    let _ = FaultSet::random(10, 11, &mut rng);
+}
+
+/// `FaultSet::random` at the extremes: zero faults, and the full universe.
+#[test]
+fn random_fault_set_boundary_sizes() {
+    let mut rng = seeded_rng(11);
+    let none = FaultSet::random(16, 0, &mut rng);
+    assert!(none.is_empty());
+    assert_eq!(none.healthy().len(), 16);
+
+    let all = FaultSet::random(16, 16, &mut rng);
+    assert_eq!(all.len(), 16);
+    assert!(all.healthy().is_empty());
+    assert_eq!(all.iter().collect::<Vec<_>>(), (0..16).collect::<Vec<_>>());
+}
+
+/// Random fault sets drawn at exactly the budget always reconfigure: the
+/// whole point of (k, G)-tolerance, exercised at the k-faults boundary.
+#[test]
+fn full_budget_random_fault_sets_always_reconfigure() {
+    let (h, k) = (4, 3);
+    let ft = FtDeBruijn2::new(h, k);
+    let mut rng = seeded_rng(13);
+    for _ in 0..50 {
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let phi = ft
+            .reconfigure_verified(&faults)
+            .expect("Theorem 1 at the k-fault boundary");
+        assert!(unused_spares(&phi, &faults).is_empty());
+        assert!(displacements(&phi).iter().all(|&d| d <= k));
+    }
+}

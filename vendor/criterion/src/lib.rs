@@ -1,0 +1,276 @@
+//! Minimal vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `measurement_time` /
+//! `warm_up_time` / `sample_size`, `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — as a small but functional wall-clock harness: each benchmark is
+//! warmed up, then timed over an adaptively chosen iteration count, and the
+//! mean ns/iter is printed in a `cargo bench`-style line.
+//!
+//! Measurement windows are capped (see [`MAX_MEASUREMENT`]) so a full
+//! `cargo bench` sweep stays fast; this is a stub for environments without
+//! registry access, not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound applied to requested measurement windows.
+pub const MAX_MEASUREMENT: Duration = Duration::from_millis(200);
+/// Upper bound applied to requested warm-up windows.
+pub const MAX_WARM_UP: Duration = Duration::from_millis(50);
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new<F: Into<String>, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Drives timed iterations of a benchmark body.
+pub struct Bencher {
+    measurement: Duration,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `body`, choosing the iteration count to fill the measurement
+    /// window, and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Calibration: time a single call to size the batch.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement window (capped at [`MAX_MEASUREMENT`]).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time.min(MAX_MEASUREMENT);
+        self
+    }
+
+    /// Sets the warm-up window (capped at [`MAX_WARM_UP`]).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up = time.min(MAX_WARM_UP);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes batches adaptively.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `body` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut body: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        run_one(&full, self.measurement, self.warm_up, |b| body(b));
+        self
+    }
+
+    /// Benchmarks `body` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(&full, self.measurement, self.warm_up, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Throughput declaration, accepted for API compatibility.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(100),
+            warm_up: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a settings-sharing group of benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let (measurement, warm_up) = (self.measurement, self.warm_up);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement,
+            warm_up,
+        }
+    }
+
+    /// Benchmarks `body` under `name` with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        run_one(name, self.measurement, self.warm_up, |b| body(b));
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, warm_up: Duration, mut body: F) {
+    let mut bencher = Bencher {
+        measurement: warm_up.min(MAX_WARM_UP),
+        last_ns_per_iter: 0.0,
+    };
+    body(&mut bencher); // warm-up pass
+    bencher.measurement = measurement.min(MAX_MEASUREMENT);
+    body(&mut bencher);
+    println!(
+        "bench: {name:<60} {:>14.1} ns/iter",
+        bencher.last_ns_per_iter
+    );
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// criterion's macro of the same name. The optional `config = ..` form is
+/// accepted and its expression evaluated for side effects only.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("push", |b| b.iter(|| vec![1u8; 16].len()));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut criterion = Criterion::default();
+        tiny_bench(&mut criterion);
+        criterion.bench_function("free_standing", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("h6_k2").render(), "h6_k2");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

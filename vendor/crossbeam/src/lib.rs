@@ -1,0 +1,87 @@
+//! Minimal vendored subset of the `crossbeam` scoped-thread API, implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the surface the workspace uses is provided: [`scope`] with
+//! [`Scope::spawn`], where the spawned closure receives a `&Scope` so nested
+//! spawns are possible, and the scope result is `Err` if any spawned thread
+//! panicked — matching `crossbeam::thread::scope` semantics.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The error half of a scope result: the payload of the first panic.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned thread.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned. Joins all spawned threads before returning; if any of them (or
+/// the closure itself) panicked, returns the panic payload as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Namespace alias matching `crossbeam::thread::scope`.
+pub mod thread {
+    pub use super::{scope, PanicPayload, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

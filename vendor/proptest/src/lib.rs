@@ -1,0 +1,269 @@
+//! Minimal vendored subset of the `proptest` API.
+//!
+//! Provides the [`proptest!`] macro (with `#![proptest_config(..)]` support
+//! and `ref` bindings), `prop_assert*` macros, [`ProptestConfig`], and the
+//! [`Strategy`] implementations the workspace uses: integer ranges plus
+//! [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Unlike real proptest there is no shrinking: each test runs `cases`
+//! deterministic iterations (seeded from the test name), and a failing case
+//! panics with the sampled arguments left to the assertion message. That is
+//! enough to make the workspace's property suites meaningful and fully
+//! reproducible without a registry dependency.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of random values for one property test run.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named property test.
+#[doc(hidden)]
+pub fn __test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name gives a stable per-test seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A value generator. The subset here samples directly without shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates ordered sets with a size drawn uniformly from `size`.
+    /// If the element domain is too small to reach the drawn size, the set
+    /// is returned at its maximum reachable size (mirroring proptest, which
+    /// gives up after a bounded number of rejects).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.random_range(self.size.clone());
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 10 * (target + 1) {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The glob-import surface used by the workspace's test modules.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and `name in strategy` / `ref name in
+/// strategy` argument bindings.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Expands each `fn` in the body of [`proptest!`] into a case-loop test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $crate::__proptest_bind! { __rng, $($args)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Binds one `proptest!` argument list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident $(,)? ) => {};
+    ( $rng:ident, ref $arg:ident in $strategy:expr ) => {
+        let $arg = &$crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ( $rng:ident, ref $arg:ident in $strategy:expr, $($rest:tt)* ) => {
+        let $arg = &$crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+    ( $rng:ident, $arg:ident in $strategy:expr ) => {
+        let $arg = $crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ( $rng:ident, $arg:ident in $strategy:expr, $($rest:tt)* ) => {
+        let $arg = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind! { $rng, $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(a in 3usize..7, b in 0u64..100) {
+            prop_assert!((3..7).contains(&a));
+            prop_assert!(b < 100);
+        }
+
+        #[test]
+        fn ref_collections_bind_by_reference(ref v in crate::collection::vec(0usize..10, 1..5),
+                                             ref s in crate::collection::btree_set(0usize..50, 2..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(s.len() >= 2 && s.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = crate::__test_rng("some::test");
+        let mut b = crate::__test_rng("some::test");
+        let va = crate::Strategy::sample(&(0usize..1000), &mut a);
+        let vb = crate::Strategy::sample(&(0usize..1000), &mut b);
+        assert_eq!(va, vb);
+    }
+}

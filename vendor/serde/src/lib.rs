@@ -1,0 +1,21 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(serde::Serialize)]` as an annotation;
+//! nothing consumes the derived impls (JSON export goes through explicit
+//! `serde_json::json!` construction). This proc-macro crate therefore
+//! provides a no-op derive so the annotations compile without the real
+//! serde dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

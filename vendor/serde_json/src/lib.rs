@@ -1,0 +1,283 @@
+//! Minimal vendored subset of `serde_json`: the [`Value`] tree, the
+//! [`json!`] object/array macro, and compact [`Display`] rendering.
+//!
+//! There is no serde integration — values are built explicitly via
+//! [`json!`] and the [`ToJson`] conversions, which is all the workspace's
+//! JSON export paths need.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Display};
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64, printed without a trailing `.0` for
+    /// integral values).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// An object with sorted keys (BTreeMap keeps output deterministic).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The array backing this value, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice backing this value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object backing this value, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// Shared `null` returned when indexing misses, matching serde_json's
+/// behaviour of yielding `Value::Null` instead of panicking.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity literal; serde_json refuses to
+                    // emit them, a Display impl can only degrade to null.
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => {
+                let mut buf = String::new();
+                escape_into(&mut buf, s);
+                write!(f, "{buf}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::new();
+                    escape_into(&mut buf, key);
+                    write!(f, "{buf}:{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Conversion into [`Value`], implemented for the types the workspace
+/// feeds through [`json!`] (including references, since `json!` arguments
+/// are usually borrowed struct fields).
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+// Numbers are stored as f64 (like JavaScript): integers above 2^53 lose
+// precision. The workspace's tables stay far below that.
+macro_rules! impl_to_json_number {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Converts any [`ToJson`] value (used by the [`json!`] macro).
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Builds a [`Value`] from an object/array/scalar literal, mirroring the
+/// subset of serde_json's `json!` grammar the workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert(($key).to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Value;
+
+    #[test]
+    fn object_macro_and_indexing() {
+        let rows = vec![vec!["1".to_string()], vec!["2".to_string()]];
+        let v = json!({
+            "title": "demo",
+            "rows": rows,
+            "n": 3usize,
+        });
+        assert_eq!(v["title"], "demo");
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["rows"][0][0], "1");
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = json!({"b": 2usize, "a": "x\"y"});
+        assert_eq!(v.to_string(), r#"{"a":"x\"y","b":2}"#);
+        assert_eq!(json!([1usize, 2usize]).to_string(), "[1,2]");
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+}
