@@ -9,7 +9,9 @@ use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
 use ftdb_sim::ascend_descend::allreduce_shuffle_exchange;
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
-use ftdb_sim::routing::{run_adaptive_workload, run_logical_workload};
+use ftdb_sim::routing::{
+    run_adaptive_workload, run_logical_workload, run_logical_workload_batched,
+};
 use ftdb_sim::workload;
 use ftdb_topology::{DeBruijn2, ShuffleExchange};
 use rand::SeedableRng;
@@ -32,6 +34,19 @@ fn bench_oblivious_routing(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+                    assert_eq!(stats.dropped, 0);
+                    black_box(stats.total_hops)
+                })
+            },
+        );
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        group.bench_with_input(
+            BenchmarkId::new("healthy_permutation_batched", h),
+            &h,
+            |b, _| {
+                b.iter(|| {
+                    let stats =
+                        run_logical_workload_batched(&db, &placement, &machine, &pairs, threads);
                     assert_eq!(stats.dropped, 0);
                     black_box(stats.total_hops)
                 })

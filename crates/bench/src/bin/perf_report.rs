@@ -1,0 +1,227 @@
+//! `perf_report` — the reproducible performance harness.
+//!
+//! Runs the routing, verification and reconfiguration suites with a plain
+//! wall-clock measurement loop (median of repeated timed batches) and writes
+//! the results to `BENCH_perf.json` so every PR records a perf datapoint.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ftdb-bench --bin perf_report [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! `--quick` shrinks the measurement windows so the harness finishes in a
+//! couple of seconds (used by CI); the default mode takes tens of seconds
+//! and produces more stable numbers.
+
+use ftdb_core::fault::Combinations;
+use ftdb_core::verify::verify_exhaustive;
+use ftdb_core::{FaultSet, FtDeBruijn2};
+use ftdb_graph::Embedding;
+use ftdb_sim::machine::{PhysicalMachine, PortModel};
+use ftdb_sim::routing::{
+    route_logical_debruijn_into, run_adaptive_workload, run_logical_workload,
+    run_logical_workload_batched,
+};
+use ftdb_sim::workload;
+use ftdb_topology::DeBruijn2;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured suite: how long one operation takes and its throughput.
+struct Measurement {
+    /// Median wall-clock nanoseconds for one run of the measured closure.
+    ns_per_run: f64,
+    /// Number of timed repetitions the median was taken over.
+    repeats: usize,
+}
+
+/// Times `body` (one "run" per call): a warm-up call, then `repeats` timed
+/// calls, returning the median. The median is robust against the occasional
+/// scheduler hiccup, which matters in CI containers.
+fn measure<F: FnMut()>(repeats: usize, mut body: F) -> Measurement {
+    body(); // warm-up
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            body();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    Measurement {
+        ns_per_run: samples[samples.len() / 2],
+        repeats,
+    }
+}
+
+/// Scales a per-run measurement down to a per-item rate.
+fn per_item(m: &Measurement, items: u64) -> (f64, f64) {
+    let ns_per_item = m.ns_per_run / items as f64;
+    let items_per_s = if ns_per_item > 0.0 {
+        1e9 / ns_per_item
+    } else {
+        f64::INFINITY
+    };
+    (ns_per_item, items_per_s)
+}
+
+fn suite_entry(name: &str, m: &Measurement, items: u64, item_label: &str) -> (String, Value) {
+    let (ns, rate) = per_item(m, items);
+    println!(
+        "{name:<40} {ns:>12.1} ns/{item_label}  {rate:>14.0} {item_label}/s  ({items} {item_label}s/run, {} repeats)",
+        m.repeats
+    );
+    (
+        name.to_string(),
+        json!({
+            "ns_per_item": ns,
+            "items_per_s": rate,
+            "item": item_label,
+            "items_per_run": items,
+            "repeats": m.repeats,
+        }),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let repeats = if quick { 5 } else { 15 };
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "perf_report: mode={} threads={threads} repeats={repeats}",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut suites: Vec<(String, Value)> = Vec::new();
+
+    // ---- Oblivious routing: healthy permutation workload ---------------
+    for &h in if quick { &[6usize, 10] as &[usize] } else { &[6, 8, 10] } {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let m = measure(repeats, || {
+            let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+            assert_eq!(stats.dropped, 0);
+            black_box(stats.total_hops);
+        });
+        suites.push(suite_entry(
+            &format!("routing_oblivious_h{h}"),
+            &m,
+            pairs.len() as u64,
+            "packet",
+        ));
+        if h == 10 {
+            // The batched engine (threads = available parallelism) and the
+            // path-materialising kernel, for the same permutation.
+            let m = measure(repeats, || {
+                let stats = run_logical_workload_batched(&db, &placement, &machine, &pairs, threads);
+                assert_eq!(stats.dropped, 0);
+                black_box(stats.total_hops);
+            });
+            suites.push(suite_entry(
+                &format!("routing_oblivious_batched_h{h}"),
+                &m,
+                pairs.len() as u64,
+                "packet",
+            ));
+            let mut path = Vec::with_capacity(h + 1);
+            let m = measure(repeats, || {
+                let mut hops = 0u64;
+                for &(s, t) in &pairs {
+                    hops += route_logical_debruijn_into(&db, &placement, &machine, s, t, &mut path)
+                        .expect("healthy delivery") as u64;
+                }
+                black_box(hops);
+            });
+            suites.push(suite_entry(
+                &format!("routing_oblivious_kernel_h{h}"),
+                &m,
+                pairs.len() as u64,
+                "packet",
+            ));
+        }
+    }
+
+    // ---- Adaptive (BFS) routing under faults ---------------------------
+    for &h in if quick { &[8usize] as &[usize] } else { &[8, 10] } {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(1);
+        machine.inject_fault(n / 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pairs = workload::uniform_pairs(n, 256, &mut rng);
+        let m = measure(repeats, || {
+            black_box(run_adaptive_workload(&machine, &pairs).delivered);
+        });
+        suites.push(suite_entry(
+            &format!("routing_adaptive_h{h}"),
+            &m,
+            pairs.len() as u64,
+            "packet",
+        ));
+    }
+
+    // ---- Reconfiguration -----------------------------------------------
+    for &(h, k) in if quick {
+        &[(10usize, 4usize)] as &[(usize, usize)]
+    } else {
+        &[(8, 2), (10, 4)]
+    } {
+        let ft = FtDeBruijn2::new(h, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let reps = 64u64;
+        let m = measure(repeats, || {
+            for _ in 0..reps {
+                black_box(ft.reconfigure_verified(&faults).expect("tolerant").len());
+            }
+        });
+        suites.push(suite_entry(
+            &format!("reconfigure_verified_h{h}_k{k}"),
+            &m,
+            reps,
+            "op",
+        ));
+    }
+
+    // ---- Exhaustive (k, G)-tolerance verification ----------------------
+    let verify_params: &[(usize, usize)] = if quick { &[(5, 2), (6, 2)] } else { &[(5, 2), (6, 2), (7, 2)] };
+    for &(h, k) in verify_params {
+        let ft = FtDeBruijn2::new(h, k);
+        let sets = Combinations::total(ft.node_count(), k) as u64;
+        let m = measure(repeats, || {
+            let report = verify_exhaustive(ft.target().graph(), ft.graph(), k, threads);
+            assert!(report.is_tolerant());
+            black_box(report.checked);
+        });
+        suites.push(suite_entry(
+            &format!("verify_exhaustive_h{h}_k{k}"),
+            &m,
+            sets,
+            "fault-set",
+        ));
+    }
+
+    let report = json!({
+        "schema": "ftdb-perf/1",
+        "mode": if quick { "quick" } else { "full" },
+        "threads": threads,
+        "suites": Value::Object(suites.into_iter().collect()),
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_perf.json");
+    println!("wrote {out_path}");
+}

@@ -82,9 +82,23 @@ impl FaultSet {
         self.nodes.iter()
     }
 
-    /// The healthy (non-faulty) nodes in increasing order.
+    /// The healthy (non-faulty) nodes in increasing order, without
+    /// materialising a vector. This is the hot-path accessor: the
+    /// reconfiguration map and the verifier consume the healthy sequence
+    /// directly from the bit words.
+    pub fn healthy_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter_complement()
+    }
+
+    /// Number of healthy nodes (`universe − len`).
+    pub fn healthy_count(&self) -> usize {
+        self.universe() - self.len()
+    }
+
+    /// The healthy (non-faulty) nodes in increasing order, as a vector.
+    /// Prefer [`FaultSet::healthy_iter`] in loops — it does not allocate.
     pub fn healthy(&self) -> Vec<NodeId> {
-        self.nodes.iter_complement().collect()
+        self.healthy_iter().collect()
     }
 
     /// The underlying bit set of faulty nodes.
@@ -154,6 +168,129 @@ impl Iterator for Combinations {
             }
         }
         Some(result)
+    }
+}
+
+/// In-place revolving-door enumeration of all `k`-subsets of `0..n`
+/// (Knuth, TAOCP 7.2.1.3, Algorithm R).
+///
+/// Unlike [`Combinations`], which clones a fresh `Vec` per combination, this
+/// enumerator mutates one internal buffer and lends it out as a sorted
+/// slice — zero allocation per step, which is what the exhaustive verifier's
+/// hot loop needs. Consecutive combinations differ by exactly one element
+/// (the "revolving door"), and the buffer always stays sorted ascending.
+#[derive(Clone, Debug)]
+pub struct RevolvingDoor {
+    n: usize,
+    k: usize,
+    /// 1-based: `c[1..=k]` is the combination, `c[k+1] = n` is the sentinel.
+    c: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl RevolvingDoor {
+    /// Creates the enumeration of all `k`-subsets of `0..n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        // `c[k+1] = n` is the algorithm's sentinel; `c[k+2] = n` pads the
+        // one-past-sentinel read step R5 performs just before terminating.
+        let mut c = vec![0; k + 3];
+        for (j, slot) in c.iter_mut().enumerate().take(k + 1).skip(1) {
+            *slot = j - 1;
+        }
+        c[k + 1] = n;
+        c[k + 2] = n;
+        RevolvingDoor {
+            n,
+            k,
+            c,
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advances to the next combination and lends it as a sorted slice, or
+    /// returns `None` when the enumeration is exhausted.
+    pub fn next_set(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.c[1..=self.k]);
+        }
+        if self.k == 0 || self.k == self.n {
+            self.done = true;
+            return None;
+        }
+        let c = &mut self.c;
+        // R3 [Easy case?]
+        let mut j;
+        if self.k % 2 == 1 {
+            if c[1] + 1 < c[2] {
+                c[1] += 1;
+                return Some(&c[1..=self.k]);
+            }
+            j = 2;
+        } else {
+            if c[1] > 0 {
+                c[1] -= 1;
+                return Some(&c[1..=self.k]);
+            }
+            j = 2;
+            // Skip straight to R5 for even k.
+            loop {
+                // R5 [Try to increase c_j.] — here c_{j-1} = j - 2.
+                if c[j] + 1 < c[j + 1] {
+                    c[j - 1] = c[j];
+                    c[j] += 1;
+                    return Some(&c[1..=self.k]);
+                }
+                j += 1;
+                if j > self.k {
+                    self.done = true;
+                    return None;
+                }
+                // R4 [Try to decrease c_j.] — here c_j = c_{j-1} + 1.
+                if c[j] >= j {
+                    c[j] = c[j - 1];
+                    c[j - 1] = j - 2;
+                    return Some(&c[1..=self.k]);
+                }
+                j += 1;
+            }
+        }
+        loop {
+            // R4 [Try to decrease c_j.] — here c_j = c_{j-1} + 1. For k = 1
+            // the easy case has already exhausted the enumeration and j
+            // points past the combination, so terminate instead.
+            if j > self.k {
+                self.done = true;
+                return None;
+            }
+            if c[j] >= j {
+                c[j] = c[j - 1];
+                c[j - 1] = j - 2;
+                return Some(&c[1..=self.k]);
+            }
+            j += 1;
+            // R5 [Try to increase c_j.]
+            if c[j] + 1 < c[j + 1] {
+                c[j - 1] = c[j];
+                c[j] += 1;
+                return Some(&c[1..=self.k]);
+            }
+            j += 1;
+            if j > self.k {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+
+    /// The total number of combinations this enumeration will produce.
+    pub fn total(&self) -> u128 {
+        Combinations::total(self.n, self.k)
     }
 }
 
@@ -234,6 +371,57 @@ mod tests {
         for (n, k) in [(6, 3), (8, 2), (9, 4), (7, 7)] {
             let count = Combinations::new(n, k).count() as u128;
             assert_eq!(count, Combinations::total(n, k), "n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn healthy_iter_matches_healthy_vec() {
+        let f = FaultSet::from_nodes(130, [0, 64, 65, 129]);
+        assert_eq!(f.healthy_iter().collect::<Vec<_>>(), f.healthy());
+        assert_eq!(f.healthy_count(), 126);
+        assert_eq!(f.healthy().len(), 126);
+        let none = FaultSet::empty(70);
+        assert_eq!(none.healthy_iter().count(), 70);
+        assert_eq!(none.healthy_iter().last(), Some(69));
+    }
+
+    #[test]
+    fn revolving_door_enumerates_every_subset_once() {
+        for n in 0..=8usize {
+            for k in 0..=n + 1 {
+                let mut rd = RevolvingDoor::new(n, k);
+                let mut seen = std::collections::BTreeSet::new();
+                let mut count = 0u128;
+                let mut prev: Option<Vec<usize>> = None;
+                while let Some(combo) = rd.next_set() {
+                    // Sorted ascending, all in range.
+                    assert!(combo.windows(2).all(|w| w[0] < w[1]), "n={n} k={k} {combo:?}");
+                    assert!(combo.iter().all(|&v| v < n));
+                    // Revolving door: consecutive sets differ in one element.
+                    if let Some(p) = &prev {
+                        let inter = combo.iter().filter(|v| p.contains(v)).count();
+                        assert_eq!(inter + 1, k, "not a revolving-door step: {p:?} -> {combo:?}");
+                    }
+                    prev = Some(combo.to_vec());
+                    seen.insert(combo.to_vec());
+                    count += 1;
+                }
+                assert_eq!(count, Combinations::total(n, k), "n={n} k={k}");
+                assert_eq!(seen.len() as u128, count, "duplicate subset for n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn revolving_door_agrees_with_lexicographic_combinations() {
+        for (n, k) in [(6usize, 3usize), (9, 2), (7, 5), (5, 0), (4, 4)] {
+            let lex: std::collections::BTreeSet<Vec<usize>> = Combinations::new(n, k).collect();
+            let mut rd = RevolvingDoor::new(n, k);
+            let mut gray = std::collections::BTreeSet::new();
+            while let Some(c) = rd.next_set() {
+                gray.insert(c.to_vec());
+            }
+            assert_eq!(lex, gray, "n={n} k={k}");
         }
     }
 

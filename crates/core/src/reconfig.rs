@@ -24,14 +24,16 @@ use ftdb_graph::{Embedding, NodeId};
 /// # Panics
 /// Panics if fewer than `target_nodes` healthy nodes remain.
 pub fn reconfigure(target_nodes: usize, faults: &FaultSet) -> Embedding {
-    let healthy = faults.healthy();
+    let healthy = faults.healthy_count();
     assert!(
-        healthy.len() >= target_nodes,
-        "only {} healthy nodes remain, target needs {}",
-        healthy.len(),
-        target_nodes
+        healthy >= target_nodes,
+        "only {healthy} healthy nodes remain, target needs {target_nodes}"
     );
-    Embedding::from_map(healthy[..target_nodes].to_vec())
+    // Fill an exact-capacity map straight off the healthy iterator: one
+    // allocation, no intermediate healthy-node vector.
+    let mut map = Vec::with_capacity(target_nodes);
+    map.extend(faults.healthy_iter().take(target_nodes));
+    Embedding::from_map(map)
 }
 
 /// The per-node displacement table `δ(x) = φ(x) - x` of a reconfiguration.
@@ -83,8 +85,7 @@ pub fn relabel_table(phi: &Embedding) -> Vec<RelabelRow> {
 pub fn unused_spares(phi: &Embedding, faults: &FaultSet) -> Vec<NodeId> {
     let used: std::collections::BTreeSet<NodeId> = phi.as_slice().iter().copied().collect();
     faults
-        .healthy()
-        .into_iter()
+        .healthy_iter()
         .filter(|v| !used.contains(v))
         .collect()
 }

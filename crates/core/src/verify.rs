@@ -12,15 +12,22 @@
 //! * **Sampled** — draw random fault sets, for instances where exhaustive
 //!   enumeration is intractable.
 //!
+//! The exhaustive sweep is engineered as an allocation-free kernel: fault
+//! sets come from an in-place revolving-door enumerator
+//! ([`crate::fault::RevolvingDoor`]), the rank map `φ` is rebuilt into a
+//! reusable buffer, edge preservation is checked against a dense host
+//! adjacency bit-matrix (O(1) per edge for the instance sizes that are
+//! exhaustively enumerable), and failures are collected per worker and
+//! merged after the join — no `Mutex` in the hot loop.
+//!
 //! The same machinery accepts an *arbitrary* candidate host graph, which is
 //! how the experiments show that a plain de Bruijn graph with a spare node
 //! bolted on is **not** `(k, G)`-tolerant — i.e. that the widened edge
 //! blocks of the paper's construction are actually needed.
 
-use crate::fault::{Combinations, FaultSet};
+use crate::fault::{FaultSet, RevolvingDoor};
 use crate::reconfig::reconfigure;
 use ftdb_graph::Graph;
-use parking_lot::Mutex;
 use rand::SeedableRng;
 
 /// Outcome of a tolerance verification run.
@@ -55,54 +62,186 @@ pub fn check_fault_set(target: &Graph, host: &Graph, faults: &FaultSet) -> bool 
     phi.verify(target, host).is_ok()
 }
 
+/// Node-count limit under which the verifier builds a dense adjacency
+/// bit-matrix of the host (`n²` bits — 2 MiB at the limit). Exhaustive
+/// enumeration is only tractable well below this size anyway.
+const ADJACENCY_MATRIX_LIMIT: usize = 4096;
+
+/// Dense adjacency bit-matrix for O(1) `has_edge` in the verification
+/// kernel.
+struct AdjacencyMatrix {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl AdjacencyMatrix {
+    fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let stride = n.div_ceil(64);
+        let mut words = vec![0u64; n * stride];
+        for u in g.nodes() {
+            let row = u * stride;
+            for &v in g.neighbors(u) {
+                words[row + v as usize / 64] |= 1u64 << (v as usize % 64);
+            }
+        }
+        AdjacencyMatrix { words, stride }
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.words[u * self.stride + v / 64] >> (v % 64) & 1 == 1
+    }
+}
+
+/// Per-worker scratch for the exhaustive sweep: the rank map `φ` and the
+/// sorted fault slice are rebuilt in place for every combination.
+struct VerifyKernel<'a> {
+    target_edges: &'a [(u32, u32)],
+    host: &'a Graph,
+    matrix: Option<&'a AdjacencyMatrix>,
+    /// `phi[x]` = host image of target node `x`; reused across checks.
+    phi: Vec<u32>,
+}
+
+impl<'a> VerifyKernel<'a> {
+    fn new(
+        target_nodes: usize,
+        target_edges: &'a [(u32, u32)],
+        host: &'a Graph,
+        matrix: Option<&'a AdjacencyMatrix>,
+    ) -> Self {
+        VerifyKernel {
+            target_edges,
+            host,
+            matrix,
+            phi: vec![0; target_nodes],
+        }
+    }
+
+    /// Allocation-free equivalent of [`check_fault_set`] for a sorted fault
+    /// slice: recomputes the rank map into the scratch buffer and checks
+    /// every target edge against the host adjacency.
+    fn check(&mut self, faults: &[usize]) -> bool {
+        let n = self.host.node_count();
+        let target_nodes = self.phi.len();
+        if n < target_nodes + faults.len() {
+            return false;
+        }
+        // φ(x) = the (x+1)-st healthy host node: walk 0..n skipping the
+        // sorted fault positions until the map is full.
+        let mut fi = 0usize;
+        let mut x = 0usize;
+        for v in 0..n {
+            if fi < faults.len() && faults[fi] == v {
+                fi += 1;
+                continue;
+            }
+            self.phi[x] = v as u32;
+            x += 1;
+            if x == target_nodes {
+                break;
+            }
+        }
+        if x < target_nodes {
+            return false;
+        }
+        match self.matrix {
+            Some(m) => self
+                .target_edges
+                .iter()
+                .all(|&(a, b)| m.has_edge(self.phi[a as usize] as usize, self.phi[b as usize] as usize)),
+            None => self.target_edges.iter().all(|&(a, b)| {
+                self.host
+                    .has_edge(self.phi[a as usize] as usize, self.phi[b as usize] as usize)
+            }),
+        }
+    }
+}
+
 /// Exhaustively verifies that `host` is `(k, target)`-tolerant *under the
 /// rank-based reconfiguration*, checking all `C(|host|, k)` fault sets.
 ///
 /// `threads` controls the parallel fan-out (use 1 for deterministic
-/// single-thread runs; the result is identical either way).
+/// single-thread runs; the recorded failures are identical either way — the
+/// first [`ToleranceReport::MAX_RECORDED`] failing sets in enumeration
+/// order, sorted).
 pub fn verify_exhaustive(target: &Graph, host: &Graph, k: usize, threads: usize) -> ToleranceReport {
     let n = host.node_count();
     let threads = threads.max(1);
-    let failures = Mutex::new(Vec::new());
-    let checked = std::sync::atomic::AtomicU64::new(0);
-    let failure_count = std::sync::atomic::AtomicU64::new(0);
+    let target_edges: Vec<(u32, u32)> = target
+        .edges()
+        .map(|(a, b)| (a as u32, b as u32))
+        .collect();
+    let matrix = (n <= ADJACENCY_MATRIX_LIMIT).then(|| AdjacencyMatrix::build(host));
+    let matrix = matrix.as_ref();
 
-    // Partition the combination stream round-robin across workers: each
-    // worker enumerates all combinations but only checks its share. The
-    // enumeration itself is cheap relative to the embedding check.
+    // Each worker advances its own in-place enumerator over the full stream
+    // (advancing is O(1) amortised and allocation-free) and checks its
+    // round-robin share. Failures are collected locally, tagged with the
+    // global enumeration index, and merged after the join — the hot loop
+    // takes no lock. Known scaling bound: the enumeration itself is
+    // replicated per worker (threads · C(n,k) advance steps), which caps
+    // parallel speedup once the per-set check is this cheap; contiguous
+    // ranges via combination unranking would remove that if wider machines
+    // demand it.
+    type WorkerResult = (u64, u64, Vec<(u64, Vec<usize>)>);
+    let mut worker_results: Vec<WorkerResult> = Vec::with_capacity(threads);
     crossbeam::scope(|scope| {
-        for worker in 0..threads {
-            let failures = &failures;
-            let checked = &checked;
-            let failure_count = &failure_count;
-            scope.spawn(move |_| {
-                let mut local_checked = 0u64;
-                for (index, combo) in Combinations::new(n, k).enumerate() {
-                    if index % threads != worker {
-                        continue;
-                    }
-                    local_checked += 1;
-                    let faults = FaultSet::from_nodes(n, combo.iter().copied());
-                    if !check_fault_set(target, host, &faults) {
-                        failure_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let mut guard = failures.lock();
-                        if guard.len() < ToleranceReport::MAX_RECORDED {
-                            guard.push(combo);
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let target_edges = &target_edges;
+                scope.spawn(move |_| {
+                    let mut kernel =
+                        VerifyKernel::new(target.node_count(), target_edges, host, matrix);
+                    let mut enumerator = RevolvingDoor::new(n, k);
+                    let mut checked = 0u64;
+                    let mut failure_count = 0u64;
+                    let mut failures: Vec<(u64, Vec<usize>)> = Vec::new();
+                    let mut index = 0u64;
+                    while let Some(combo) = enumerator.next_set() {
+                        let mine = index % threads as u64 == worker as u64;
+                        index += 1;
+                        if !mine {
+                            continue;
+                        }
+                        checked += 1;
+                        if !kernel.check(combo) {
+                            failure_count += 1;
+                            if failures.len() < ToleranceReport::MAX_RECORDED {
+                                failures.push((index - 1, combo.to_vec()));
+                            }
                         }
                     }
-                }
-                checked.fetch_add(local_checked, std::sync::atomic::Ordering::Relaxed);
-            });
+                    (checked, failure_count, failures)
+                })
+            })
+            .collect();
+        for handle in handles {
+            worker_results.push(handle.join().expect("verification worker panicked"));
         }
     })
-    .expect("verification worker panicked");
+    .expect("verification scope panicked");
 
-    let mut failures = failures.into_inner();
+    let mut checked = 0u64;
+    let mut failure_count = 0u64;
+    let mut tagged: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (c, f, fails) in worker_results {
+        checked += c;
+        failure_count += f;
+        tagged.extend(fails);
+    }
+    // Keep the first MAX_RECORDED failures in global enumeration order —
+    // deterministic regardless of the thread count — then sort them for
+    // stable presentation.
+    tagged.sort();
+    tagged.truncate(ToleranceReport::MAX_RECORDED);
+    let mut failures: Vec<Vec<usize>> = tagged.into_iter().map(|(_, f)| f).collect();
     failures.sort();
     ToleranceReport {
-        checked: checked.into_inner(),
+        checked,
         failures,
-        failure_count: failure_count.into_inner(),
+        failure_count,
     }
 }
 
@@ -117,14 +256,23 @@ pub fn verify_sampled(
 ) -> ToleranceReport {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = host.node_count();
+    let target_edges: Vec<(u32, u32)> = target
+        .edges()
+        .map(|(a, b)| (a as u32, b as u32))
+        .collect();
+    let matrix = (n <= ADJACENCY_MATRIX_LIMIT).then(|| AdjacencyMatrix::build(host));
+    let mut kernel = VerifyKernel::new(target.node_count(), &target_edges, host, matrix.as_ref());
+    let mut combo: Vec<usize> = Vec::with_capacity(k);
     let mut failures = Vec::new();
     let mut failure_count = 0;
     for _ in 0..samples {
         let faults = FaultSet::random(n, k, &mut rng);
-        if !check_fault_set(target, host, &faults) {
+        combo.clear();
+        combo.extend(faults.iter());
+        if !kernel.check(&combo) {
             failure_count += 1;
             if failures.len() < ToleranceReport::MAX_RECORDED {
-                failures.push(faults.iter().collect());
+                failures.push(combo.clone());
             }
         }
     }
@@ -193,6 +341,34 @@ mod tests {
     }
 
     #[test]
+    fn kernel_agrees_with_check_fault_set() {
+        // The fast kernel and the reference path must classify every fault
+        // set identically, on a tolerant and on a non-tolerant host.
+        let ft = FtDeBruijn2::new(3, 2);
+        let target = ft.target().graph();
+        for host in [ft.graph().clone(), {
+            let mut b = ftdb_graph::GraphBuilder::new(10);
+            b.add_edges(target.edges());
+            b.build()
+        }] {
+            let target_edges: Vec<(u32, u32)> =
+                target.edges().map(|(a, b)| (a as u32, b as u32)).collect();
+            let matrix = AdjacencyMatrix::build(&host);
+            let mut kernel =
+                VerifyKernel::new(target.node_count(), &target_edges, &host, Some(&matrix));
+            let mut rd = RevolvingDoor::new(host.node_count(), 2);
+            while let Some(combo) = rd.next_set() {
+                let faults = FaultSet::from_nodes(host.node_count(), combo.iter().copied());
+                assert_eq!(
+                    kernel.check(combo),
+                    check_fault_set(target, &host, &faults),
+                    "kernel disagrees on {combo:?} for {host:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sampled_and_exhaustive_agree_on_tolerant_instance() {
         let ft = FtDeBruijnM::new(2, 4, 2);
         let exhaustive = verify_exhaustive(ft.target().graph(), ft.graph(), 2, 4);
@@ -221,6 +397,22 @@ mod tests {
         assert_eq!(a.checked, b.checked);
         assert_eq!(a.failure_count, b.failure_count);
         assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn recorded_failures_are_thread_count_independent() {
+        // A non-tolerant instance with more than MAX_RECORDED failures: the
+        // recorded subset must still be identical across thread counts.
+        let target = DeBruijn2::new(4);
+        let mut b = ftdb_graph::GraphBuilder::new(18);
+        b.add_edges(target.graph().edges());
+        let host = b.build();
+        let one = verify_exhaustive(target.graph(), &host, 2, 1);
+        let many = verify_exhaustive(target.graph(), &host, 2, 5);
+        assert!(!one.is_tolerant());
+        assert_eq!(one.failure_count, many.failure_count);
+        assert_eq!(one.failures, many.failures);
+        assert_eq!(one.failures.len(), ToleranceReport::MAX_RECORDED);
     }
 
     #[test]

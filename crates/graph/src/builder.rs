@@ -67,9 +67,17 @@ impl GraphBuilder {
         self.ignored_self_loops
     }
 
-    /// Finalises the graph: sorts adjacency lists and removes duplicates.
+    /// Finalises the graph: sorts adjacency lists, removes duplicates and
+    /// packs the result into the CSR layout.
+    ///
+    /// # Panics
+    /// Panics if the graph exceeds the `u32`-indexed CSR limits (more than
+    /// `u32::MAX` nodes or directed edges). The builder cannot produce the
+    /// other [`crate::graph::GraphError`] conditions: self-loops are elided
+    /// and edges are always inserted symmetrically.
     pub fn build(self) -> Graph {
         Graph::from_adjacency(self.adjacency, self.name)
+            .expect("GraphBuilder maintains the simple-graph invariants")
     }
 }
 

@@ -170,9 +170,13 @@ impl Embedding {
     /// the images of adjacent guest nodes (1 for a true subgraph embedding).
     /// Returns `None` if some image pair is disconnected in the host.
     pub fn dilation(&self, guest: &Graph, host: &Graph) -> Option<usize> {
+        let mut searcher = crate::traversal::Searcher::with_capacity(host.node_count());
+        let mut path = Vec::new();
         let mut worst = 0usize;
         for (x, y) in guest.edges() {
-            let path = crate::traversal::shortest_path(host, self.map[x], self.map[y])?;
+            if !searcher.shortest_path_into(host, self.map[x], self.map[y], &mut path) {
+                return None;
+            }
             worst = worst.max(path.len() - 1);
         }
         Some(worst)

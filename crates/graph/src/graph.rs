@@ -1,4 +1,12 @@
-//! The core undirected simple-graph type.
+//! The core undirected simple-graph type, stored in compressed sparse row
+//! (CSR) form.
+//!
+//! The CSR layout keeps the whole adjacency structure in two flat arrays —
+//! `offsets` (one `u32` per node, plus a sentinel) and `neighbors` (one `u32`
+//! per directed edge) — so that neighbour scans are a single contiguous slice
+//! read with no pointer chasing, and the entire graph of the instance sizes
+//! this workspace targets fits in a few cache lines per node. All hot kernels
+//! (BFS, routing, verification) iterate `neighbors(v)` slices directly.
 
 use std::fmt;
 
@@ -7,57 +15,145 @@ use std::fmt;
 /// Nodes of a graph with `n` nodes are always `0..n`. The paper labels the
 /// nodes of `B_{m,h}` and of the fault-tolerant graphs with consecutive
 /// integers starting at 0, so a plain index is the natural representation.
+/// Internally the CSR arrays store node ids as `u32` for cache density;
+/// `NodeId` remains `usize` at API boundaries that index into per-node data.
 pub type NodeId = usize;
+
+/// Errors raised when assembling a [`Graph`] from raw adjacency data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node listed itself as a neighbour. Simple graphs have no self-loops;
+    /// [`crate::GraphBuilder`] elides them, but raw adjacency input must not
+    /// contain them.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Node `u` lists `v` as a neighbour but `v` does not list `u`. An
+    /// undirected graph's adjacency must be symmetric.
+    Asymmetric {
+        /// The node whose list contains the unreciprocated neighbour.
+        u: NodeId,
+        /// The neighbour that does not point back.
+        v: NodeId,
+    },
+    /// A neighbour id is not a node of the graph.
+    OutOfRange {
+        /// The node whose list contains the invalid id.
+        node: NodeId,
+        /// The invalid neighbour id.
+        neighbor: NodeId,
+    },
+    /// The graph is too large for the `u32`-indexed CSR representation.
+    TooLarge {
+        /// The requested node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            GraphError::Asymmetric { u, v } => {
+                write!(f, "asymmetric adjacency: {u} lists {v} but {v} does not list {u}")
+            }
+            GraphError::OutOfRange { node, neighbor } => {
+                write!(f, "neighbour {neighbor} of node {node} is out of range")
+            }
+            GraphError::TooLarge { nodes } => {
+                write!(f, "{nodes} nodes exceed the u32-indexed CSR limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// A compact undirected simple graph (no self-loops, no parallel edges).
 ///
-/// Adjacency lists are kept sorted so that `has_edge` is `O(log d)` and
-/// neighbour iteration is deterministic. The structure is immutable once
+/// Stored as CSR: `neighbors(v)` is the sorted slice
+/// `neighbors[offsets[v]..offsets[v+1]]`, so `has_edge` is `O(log d)` and
+/// neighbour iteration is a contiguous scan. The structure is immutable once
 /// built; use [`crate::GraphBuilder`] to construct one.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// `adjacency[v]` is the sorted list of neighbours of `v`.
-    adjacency: Vec<Vec<NodeId>>,
-    /// Total number of undirected edges.
-    edge_count: usize,
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Flat, per-node-sorted adjacency; length `2 · edge_count`.
+    neighbors: Vec<u32>,
     /// Optional human-readable name (used by the renderers).
     name: String,
 }
 
 impl Graph {
-    pub(crate) fn from_adjacency(mut adjacency: Vec<Vec<NodeId>>, name: String) -> Self {
-        let mut edge_count = 0;
+    /// Builds a graph from per-node adjacency lists, validating that the
+    /// input describes a simple undirected graph.
+    ///
+    /// Lists are sorted and de-duplicated. Unlike the pre-CSR representation
+    /// (which only `debug_assert`ed), invalid input — self-loops, asymmetric
+    /// adjacency, out-of-range neighbours, or more than `u32::MAX` nodes or
+    /// directed edges — is rejected with a [`GraphError`] in release builds
+    /// too, instead of silently corrupting the edge count.
+    pub fn from_adjacency(mut adjacency: Vec<Vec<NodeId>>, name: String) -> Result<Self, GraphError> {
+        let n = adjacency.len();
+        if n >= u32::MAX as usize {
+            return Err(GraphError::TooLarge { nodes: n });
+        }
+        let mut total = 0usize;
         for (v, list) in adjacency.iter_mut().enumerate() {
             list.sort_unstable();
             list.dedup();
-            debug_assert!(!list.contains(&v), "self loop on node {v}");
-            edge_count += list.len();
+            if let Some(&last) = list.last() {
+                if last >= n {
+                    return Err(GraphError::OutOfRange { node: v, neighbor: last });
+                }
+            }
+            if list.binary_search(&v).is_ok() {
+                return Err(GraphError::SelfLoop { node: v });
+            }
+            total += list.len();
         }
-        debug_assert!(edge_count % 2 == 0, "asymmetric adjacency");
-        Graph {
-            adjacency,
-            edge_count: edge_count / 2,
-            name,
+        if total >= u32::MAX as usize {
+            return Err(GraphError::TooLarge { nodes: n });
         }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in &adjacency {
+            neighbors.extend(list.iter().map(|&u| u as u32));
+            offsets.push(neighbors.len() as u32);
+        }
+        let g = Graph { offsets, neighbors, name };
+        // Symmetry: every (v, u) must be mirrored by (u, v). With sorted CSR
+        // rows this is one binary search per directed edge.
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                if !g.has_edge(u as NodeId, v) {
+                    return Err(GraphError::Asymmetric { u: v, v: u as NodeId });
+                }
+            }
+        }
+        Ok(g)
     }
 
     /// Creates a graph with `n` nodes and no edges.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adjacency: vec![Vec::new(); n],
-            edge_count: 0,
+            offsets: vec![0u32; n + 1],
+            neighbors: Vec::new(),
             name: String::new(),
         }
     }
 
     /// The number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// The number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.neighbors.len() / 2
     }
 
     /// An optional descriptive name (e.g. `"B(2,4)"`).
@@ -76,61 +172,102 @@ impl Graph {
         0..self.node_count()
     }
 
-    /// The sorted neighbours of `v`.
+    /// The sorted neighbours of `v` as a raw CSR slice.
+    ///
+    /// The element type is the CSR's native `u32`; cast to [`NodeId`] when
+    /// indexing per-node arrays. Kernels iterate this slice directly — it is
+    /// contiguous memory, no per-node `Vec` indirection.
     ///
     /// # Panics
     /// Panics if `v` is out of range.
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adjacency[v]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The neighbours of `v` as [`NodeId`]s (convenience wrapper over the raw
+    /// CSR slice).
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().map(|&u| u as NodeId)
+    }
+
+    /// The raw CSR arrays `(offsets, neighbors)`. `offsets` has `n + 1`
+    /// entries; the neighbours of `v` occupy
+    /// `neighbors[offsets[v] as usize..offsets[v + 1] as usize]`.
+    pub fn csr(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.neighbors)
     }
 
     /// The degree (number of incident edges) of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// The maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// The minimum degree over all nodes (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).min().unwrap_or(0)
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
     }
 
     /// Whether the undirected edge `{u, v}` is present.
+    ///
+    /// `O(log d)`; short CSR rows (the constant-degree graphs this library
+    /// is about) use a branch-light linear scan instead, which is faster
+    /// than binary search at these sizes.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         if u >= self.node_count() || v >= self.node_count() {
             return false;
         }
-        self.adjacency[u].binary_search(&v).is_ok()
+        let row = self.neighbors(u);
+        let v = v as u32;
+        if row.len() <= 32 {
+            row.contains(&v)
+        } else {
+            row.binary_search(&v).is_ok()
+        }
     }
 
     /// Iterator over all undirected edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v as NodeId)
+                .map(move |&v| (u, v as NodeId))
+        })
     }
 
     /// Returns the sorted degree sequence of the graph.
     pub fn degree_sequence(&self) -> Vec<usize> {
-        let mut d: Vec<usize> = self.adjacency.iter().map(Vec::len).collect();
+        let mut d: Vec<usize> = self.nodes().map(|v| self.degree(v)).collect();
         d.sort_unstable();
         d
     }
 
-    /// Checks the internal invariants (sortedness, symmetry, no self-loops).
+    /// Checks the internal invariants (offset monotonicity, sortedness,
+    /// symmetry, no self-loops).
     ///
     /// Intended for tests and debug assertions; `O(V + E log d)`.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (v, list) in self.adjacency.iter().enumerate() {
+        if self.offsets.is_empty() {
+            return Err("offsets must contain at least the 0 sentinel".into());
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.neighbors.len() {
+            return Err("offsets do not span the neighbour array".into());
+        }
+        if !self.offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        for v in self.nodes() {
+            let list = self.neighbors(v);
             if !list.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!("adjacency of {v} not strictly sorted"));
             }
             for &u in list {
+                let u = u as NodeId;
                 if u == v {
                     return Err(format!("self loop on {v}"));
                 }
@@ -141,13 +278,6 @@ impl Graph {
                     return Err(format!("edge ({v},{u}) not symmetric"));
                 }
             }
-        }
-        let total: usize = self.adjacency.iter().map(Vec::len).sum();
-        if total != 2 * self.edge_count {
-            return Err(format!(
-                "edge count {} inconsistent with adjacency total {total}",
-                self.edge_count
-            ));
         }
         Ok(())
     }
@@ -167,6 +297,7 @@ impl fmt::Debug for Graph {
 
 #[cfg(test)]
 mod tests {
+    use super::{Graph, GraphError};
     use crate::GraphBuilder;
 
     #[test]
@@ -184,6 +315,7 @@ mod tests {
         assert!(g.has_edge(2, 0));
         assert!(!g.has_edge(0, 0));
         assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbor_ids(1).collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(g.degree_sequence(), vec![2, 2, 2]);
         assert_eq!(g.name(), "K3");
         g.check_invariants().unwrap();
@@ -215,5 +347,50 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.max_degree(), 0);
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn csr_layout_is_exposed() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let (offsets, neighbors) = g.csr();
+        assert_eq!(offsets, &[0, 1, 3, 4]);
+        assert_eq!(neighbors, &[1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn self_loops_are_rejected_in_release_builds() {
+        let err = Graph::from_adjacency(vec![vec![0]], String::new()).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 0 });
+    }
+
+    #[test]
+    fn asymmetric_adjacency_is_rejected() {
+        let err = Graph::from_adjacency(vec![vec![1], vec![]], String::new()).unwrap_err();
+        assert_eq!(err, GraphError::Asymmetric { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn out_of_range_neighbours_are_rejected() {
+        let err = Graph::from_adjacency(vec![vec![5], vec![0]], String::new()).unwrap_err();
+        assert_eq!(err, GraphError::OutOfRange { node: 0, neighbor: 5 });
+    }
+
+    #[test]
+    fn valid_adjacency_is_accepted_with_duplicates_removed() {
+        let g = Graph::from_adjacency(vec![vec![1, 1], vec![0]], "p2".into()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.name(), "p2");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(GraphError::SelfLoop { node: 3 }.to_string().contains('3'));
+        assert!(GraphError::Asymmetric { u: 1, v: 2 }.to_string().contains("symmetric"));
+        assert!(GraphError::OutOfRange { node: 0, neighbor: 9 }.to_string().contains('9'));
+        assert!(GraphError::TooLarge { nodes: 7 }.to_string().contains("u32"));
     }
 }

@@ -54,4 +54,5 @@ pub mod traversal;
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use embedding::Embedding;
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, GraphError, NodeId};
+pub use traversal::Searcher;

@@ -48,6 +48,7 @@ pub fn induced_subgraph(g: &Graph, keep: &BitSet) -> InducedSubgraph {
     let mut b = GraphBuilder::new(original.len());
     for (new_u, &old_u) in original.iter().enumerate() {
         for &old_v in g.neighbors(old_u) {
+            let old_v = old_v as NodeId;
             if old_v > old_u && index_of[old_v] != usize::MAX {
                 b.add_edge(new_u, index_of[old_v]);
             }

@@ -80,12 +80,13 @@ pub fn triangle_count(g: &Graph) -> usize {
     let mut count = 0;
     for u in g.nodes() {
         for &v in g.neighbors(u) {
+            let v = v as NodeId;
             if v <= u {
                 continue;
             }
             // Count common neighbours w > v to count each triangle once.
             for &w in g.neighbors(v) {
-                if w > v && g.has_edge(u, w) {
+                if w as NodeId > v && g.has_edge(u, w as NodeId) {
                     count += 1;
                 }
             }

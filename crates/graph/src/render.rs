@@ -65,7 +65,7 @@ pub fn adjacency_table_with_labels<F: Fn(NodeId) -> String>(g: &Graph, label: F)
     }
     let width = g.nodes().map(|v| label(v).len()).max().unwrap_or(1);
     for v in g.nodes() {
-        let neighbours: Vec<String> = g.neighbors(v).iter().map(|&u| label(u)).collect();
+        let neighbours: Vec<String> = g.neighbors(v).iter().map(|&u| label(u as NodeId)).collect();
         let _ = writeln!(out, "{:>width$} : {}", label(v), neighbours.join(" "), width = width);
     }
     out

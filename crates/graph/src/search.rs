@@ -84,7 +84,7 @@ fn variable_order(guest: &Graph, seed: Option<NodeId>) -> Vec<NodeId> {
         placed[v] = true;
         order.push(v);
         for &u in guest.neighbors(v) {
-            placed_neighbors[u] += 1;
+            placed_neighbors[u as usize] += 1;
         }
         next = (0..n)
             .filter(|&u| !placed[u])
@@ -103,7 +103,7 @@ impl<'a> Searcher<'a> {
             .neighbors(g)
             .iter()
             .filter_map(|&u| {
-                let img = self.assignment[u];
+                let img = self.assignment[u as usize];
                 (img != usize::MAX).then_some(img)
             })
             .collect();
@@ -113,7 +113,7 @@ impl<'a> Searcher<'a> {
             self.host
                 .neighbors(anchor)
                 .iter()
-                .copied()
+                .map(|&h| h as NodeId)
                 .filter(|&h| {
                     !self.used.contains(h)
                         && self.host.degree(h) >= needed_degree

@@ -1,62 +1,222 @@
 //! Breadth/depth-first traversal, connectivity and distance computations.
+//!
+//! The hot path is [`Searcher`], a reusable scratch object holding the
+//! distance, parent, queue and visited-mark buffers a BFS needs. A kernel
+//! that runs many searches (adaptive routing, diameter sweeps, the
+//! verifier's reachability checks) creates one `Searcher` and reuses it —
+//! after the first search no allocation happens, and the visited marks are
+//! invalidated in O(1) per search with a round counter instead of a clear.
+//!
+//! The free functions ([`bfs_distances`], [`shortest_path`], …) are
+//! convenience wrappers that allocate a fresh `Searcher` per call; they keep
+//! the simple API for tests and one-off computations.
 
 use crate::bitset::BitSet;
 use crate::graph::{Graph, NodeId};
-use std::collections::VecDeque;
+
+/// Sentinel distance/parent value meaning "not reached".
+const UNREACHED: u32 = u32::MAX;
+
+/// Reusable BFS scratch: preallocated dist/parent/queue/visited buffers.
+///
+/// All searches share the buffers; a round counter invalidates previous
+/// results without clearing, so a search costs `O(reached + edges scanned)`
+/// with zero heap allocation once the buffers have grown to the graph size.
+#[derive(Clone, Debug, Default)]
+pub struct Searcher {
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+    mark: Vec<u32>,
+    queue: Vec<u32>,
+    round: u32,
+    reached: usize,
+    max_dist: u32,
+    sum_dist: u64,
+}
+
+impl Searcher {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Searcher::default()
+    }
+
+    /// Creates a scratch with buffers sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Searcher::new();
+        s.ensure(n);
+        s
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.dist.resize(n, 0);
+            self.parent.resize(n, UNREACHED);
+            self.mark.resize(n, 0);
+        }
+    }
+
+    /// Starts a new search round: bumps the round stamp (resetting all marks
+    /// only on the rare wrap-around) and clears the per-search statistics.
+    fn begin(&mut self, n: usize) {
+        self.ensure(n);
+        if self.round == u32::MAX {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.round = 0;
+        }
+        self.round += 1;
+        self.queue.clear();
+        self.reached = 0;
+        self.max_dist = 0;
+        self.sum_dist = 0;
+    }
+
+    fn visit(&mut self, v: usize, parent: u32, d: u32) {
+        self.mark[v] = self.round;
+        self.dist[v] = d;
+        self.parent[v] = parent;
+        self.queue.push(v as u32);
+        self.reached += 1;
+        self.max_dist = self.max_dist.max(d);
+        self.sum_dist += d as u64;
+    }
+
+    /// Runs a full BFS from `source`, filling the distance table.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn bfs(&mut self, g: &Graph, source: NodeId) {
+        self.bfs_filtered(g, source, |_| true);
+    }
+
+    /// Runs a full BFS from `source` restricted to nodes satisfying `allow`
+    /// (the source itself is visited regardless — callers that need to
+    /// exclude it check it first, as the routing layer does for faults).
+    pub fn bfs_filtered<F: Fn(NodeId) -> bool>(&mut self, g: &Graph, source: NodeId, allow: F) {
+        assert!(source < g.node_count(), "source out of range");
+        self.begin(g.node_count());
+        self.visit(source, source as u32, 0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            let du = self.dist[u];
+            for &v in g.neighbors(u) {
+                let vi = v as usize;
+                if self.mark[vi] != self.round && allow(vi) {
+                    self.visit(vi, u as u32, du + 1);
+                }
+            }
+        }
+    }
+
+    /// BFS from `source` that stops as soon as `target` is reached and
+    /// writes the shortest path (source and target inclusive) into `out`.
+    ///
+    /// Returns `true` and fills `out` if a path exists; returns `false` and
+    /// leaves `out` empty otherwise. `out` is cleared first and reused — no
+    /// allocation once its capacity covers the path length.
+    pub fn shortest_path_into(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        target: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        self.shortest_path_filtered_into(g, source, target, |_| true, out)
+    }
+
+    /// [`Searcher::shortest_path_into`] restricted to nodes satisfying
+    /// `allow`. The search fails immediately if the source or target is
+    /// disallowed.
+    pub fn shortest_path_filtered_into<F: Fn(NodeId) -> bool>(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        target: NodeId,
+        allow: F,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        assert!(
+            source < g.node_count() && target < g.node_count(),
+            "path endpoints out of range"
+        );
+        out.clear();
+        if !allow(source) || !allow(target) {
+            return false;
+        }
+        if source == target {
+            out.push(source);
+            return true;
+        }
+        self.begin(g.node_count());
+        self.visit(source, source as u32, 0);
+        let mut head = 0usize;
+        'search: while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            let du = self.dist[u];
+            for &v in g.neighbors(u) {
+                let vi = v as usize;
+                if self.mark[vi] != self.round && allow(vi) {
+                    self.visit(vi, u as u32, du + 1);
+                    if vi == target {
+                        break 'search;
+                    }
+                }
+            }
+        }
+        if self.mark[target] != self.round {
+            return false;
+        }
+        let mut cur = target;
+        out.push(cur);
+        while cur != source {
+            cur = self.parent[cur] as usize;
+            out.push(cur);
+        }
+        out.reverse();
+        true
+    }
+
+    /// The distance of `v` from the source of the last search, if reached.
+    pub fn distance(&self, v: NodeId) -> Option<usize> {
+        (self.mark[v] == self.round).then_some(self.dist[v] as usize)
+    }
+
+    /// Number of nodes reached by the last search (including the source).
+    pub fn reached(&self) -> usize {
+        self.reached
+    }
+
+    /// Maximum distance reached by the last search (the source eccentricity
+    /// when the search reached the whole graph).
+    pub fn max_distance(&self) -> usize {
+        self.max_dist as usize
+    }
+
+    /// Sum of the distances of all reached nodes in the last search.
+    pub fn sum_distances(&self) -> u64 {
+        self.sum_dist
+    }
+}
 
 /// Breadth-first search from `source`.
 ///
 /// Returns a vector `dist` where `dist[v]` is the hop distance from `source`
-/// to `v`, or `None` if `v` is unreachable.
+/// to `v`, or `None` if `v` is unreachable. Allocates the result and a fresh
+/// [`Searcher`]; hot loops should hold their own `Searcher` instead.
 pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
-    assert!(source < g.node_count(), "source out of range");
-    let mut dist = vec![None; g.node_count()];
-    let mut queue = VecDeque::new();
-    dist[source] = Some(0);
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u].expect("queued node always has a distance");
-        for &v in g.neighbors(u) {
-            if dist[v].is_none() {
-                dist[v] = Some(du + 1);
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
+    let mut s = Searcher::new();
+    s.bfs(g, source);
+    g.nodes().map(|v| s.distance(v)).collect()
 }
 
 /// Returns a shortest path from `source` to `target` (inclusive of both) as a
 /// list of node ids, or `None` if no path exists.
 pub fn shortest_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
-    assert!(source < g.node_count() && target < g.node_count());
-    if source == target {
-        return Some(vec![source]);
-    }
-    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
-    let mut visited = BitSet::new(g.node_count());
-    visited.insert(source);
-    let mut queue = VecDeque::new();
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
-            if visited.insert(v) {
-                parent[v] = Some(u);
-                if v == target {
-                    let mut path = vec![target];
-                    let mut cur = target;
-                    while let Some(p) = parent[cur] {
-                        path.push(p);
-                        cur = p;
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
-                queue.push_back(v);
-            }
-        }
-    }
-    None
+    let mut s = Searcher::new();
+    let mut path = Vec::new();
+    s.shortest_path_into(g, source, target, &mut path).then_some(path)
 }
 
 /// Depth-first preorder starting from `source`, restricted to the connected
@@ -73,8 +233,8 @@ pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
         order.push(u);
         // Push in reverse so lower-numbered neighbours are visited first.
         for &v in g.neighbors(u).iter().rev() {
-            if !visited.contains(v) {
-                stack.push(v);
+            if !visited.contains(v as NodeId) {
+                stack.push(v as NodeId);
             }
         }
     }
@@ -88,19 +248,23 @@ pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
 pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
     let n = g.node_count();
     let mut comp = vec![usize::MAX; n];
+    let mut queue: Vec<u32> = Vec::new();
     let mut count = 0;
     for start in 0..n {
         if comp[start] != usize::MAX {
             continue;
         }
-        let mut queue = VecDeque::new();
+        queue.clear();
         comp[start] = count;
-        queue.push_back(start);
-        while let Some(u) = queue.pop_front() {
+        queue.push(start as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
             for &v in g.neighbors(u) {
-                if comp[v] == usize::MAX {
-                    comp[v] = count;
-                    queue.push_back(v);
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = count;
+                    queue.push(v);
                 }
             }
         }
@@ -118,29 +282,28 @@ pub fn is_connected(g: &Graph) -> bool {
 /// The eccentricity of `v`: the maximum distance from `v` to any reachable
 /// node. Returns `None` if some node is unreachable from `v`.
 pub fn eccentricity(g: &Graph, v: NodeId) -> Option<usize> {
-    let dist = bfs_distances(g, v);
-    let mut ecc = 0;
-    for d in dist {
-        match d {
-            Some(d) => ecc = ecc.max(d),
-            None => return None,
-        }
-    }
-    Some(ecc)
+    let mut s = Searcher::new();
+    s.bfs(g, v);
+    (s.reached() == g.node_count()).then(|| s.max_distance())
 }
 
 /// The diameter of the graph (maximum eccentricity), or `None` if the graph
 /// is disconnected or empty.
 ///
-/// Runs a BFS from every node: `O(V · (V + E))`; fine for the instance sizes
-/// used in the experiments.
+/// Runs a BFS from every node through one shared [`Searcher`]:
+/// `O(V · (V + E))` time, `O(V)` scratch allocated once.
 pub fn diameter(g: &Graph) -> Option<usize> {
     if g.node_count() == 0 {
         return None;
     }
+    let mut s = Searcher::with_capacity(g.node_count());
     let mut diam = 0;
     for v in g.nodes() {
-        diam = diam.max(eccentricity(g, v)?);
+        s.bfs(g, v);
+        if s.reached() != g.node_count() {
+            return None;
+        }
+        diam = diam.max(s.max_distance());
     }
     Some(diam)
 }
@@ -152,11 +315,14 @@ pub fn average_distance(g: &Graph) -> Option<f64> {
     if n < 2 {
         return None;
     }
-    let mut total = 0usize;
+    let mut s = Searcher::with_capacity(n);
+    let mut total = 0u64;
     for v in g.nodes() {
-        for d in bfs_distances(g, v) {
-            total += d?;
+        s.bfs(g, v);
+        if s.reached() != n {
+            return None;
         }
+        total += s.sum_distances();
     }
     Some(total as f64 / (n * (n - 1)) as f64)
 }
@@ -187,6 +353,52 @@ mod tests {
     fn shortest_path_disconnected_is_none() {
         let g = crate::builder::graph_from_edges(4, &[(0, 1), (2, 3)]);
         assert!(shortest_path(&g, 0, 3).is_none());
+    }
+
+    #[test]
+    fn searcher_is_reusable_across_graphs_and_rounds() {
+        let p = generators::path(5);
+        let c = generators::cycle(8);
+        let mut s = Searcher::new();
+        s.bfs(&p, 0);
+        assert_eq!(s.distance(4), Some(4));
+        assert_eq!(s.reached(), 5);
+        s.bfs(&c, 0);
+        assert_eq!(s.distance(4), Some(4));
+        assert_eq!(s.max_distance(), 4);
+        assert_eq!(s.reached(), 8);
+        // Stale results from the previous round are invalidated.
+        s.bfs(&p, 4);
+        assert_eq!(s.distance(0), Some(4));
+        assert_eq!(s.sum_distances(), (1 + 2 + 3 + 4) as u64);
+    }
+
+    #[test]
+    fn searcher_filtered_search_respects_the_filter() {
+        // Path 0-1-2-3-4 with node 2 disallowed: 0 and 4 are separated.
+        let p = generators::path(5);
+        let mut s = Searcher::new();
+        let mut out = Vec::new();
+        assert!(!s.shortest_path_filtered_into(&p, 0, 4, |v| v != 2, &mut out));
+        assert!(out.is_empty());
+        assert!(s.shortest_path_filtered_into(&p, 0, 1, |v| v != 2, &mut out));
+        assert_eq!(out, vec![0, 1]);
+        s.bfs_filtered(&p, 0, |v| v != 2);
+        assert_eq!(s.reached(), 2);
+        assert_eq!(s.distance(3), None);
+    }
+
+    #[test]
+    fn searcher_path_buffer_is_reused() {
+        let c = generators::cycle(6);
+        let mut s = Searcher::new();
+        let mut out = Vec::with_capacity(8);
+        assert!(s.shortest_path_into(&c, 0, 3, &mut out));
+        let cap = out.capacity();
+        assert!(s.shortest_path_into(&c, 1, 4, &mut out));
+        assert_eq!(out.capacity(), cap, "buffer must be reused, not reallocated");
+        assert_eq!(out.len(), 4); // distance 3 either way around the cycle
+        assert_eq!((out[0], out[3]), (1, 4));
     }
 
     #[test]

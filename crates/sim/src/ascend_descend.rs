@@ -53,13 +53,14 @@ impl AscendOutcome {
 pub fn allreduce_hypercube(h: usize, values: &[u64]) -> AscendOutcome {
     let n = 1usize << h;
     assert_eq!(values.len(), n, "need one value per logical node");
+    // Two fixed buffers, swapped per phase — no per-phase allocation.
     let mut vals = values.to_vec();
+    let mut next = vec![0u64; n];
     for dim in 0..h {
-        let mut next = vals.clone();
         for x in 0..n {
             next[x] = vals[x].wrapping_add(vals[x ^ (1 << dim)]);
         }
-        vals = next;
+        std::mem::swap(&mut vals, &mut next);
     }
     AscendOutcome { steps: h, values: vals }
 }
@@ -88,28 +89,29 @@ pub fn allreduce_shuffle_exchange(
     assert_eq!(values.len(), n, "need one value per logical node");
     assert_eq!(placement.len(), n, "placement must cover every logical node");
     let h = se.h();
+    // `vals` and `scratch` ping-pong across the exchange and shuffle steps;
+    // every slot is overwritten each step, so no clearing (and no per-phase
+    // allocation) is needed.
     let mut vals = values.to_vec();
+    let mut scratch = vec![0u64; n];
     let mut steps = 0;
     for _phase in 0..h {
         // Exchange step: logical x combines with x ^ 1.
-        let mut after_exchange = vals.clone();
         for x in 0..n {
             let partner = se.exchange(x);
             machine.check_link(placement.apply(x), placement.apply(partner))?;
-            after_exchange[x] = vals[x].wrapping_add(vals[partner]);
+            scratch[x] = vals[x].wrapping_add(vals[partner]);
         }
         steps += 1;
         // Shuffle step: the value held by logical x moves to shuffle(x).
-        let mut after_shuffle = vec![0u64; n];
         for x in 0..n {
             let dest = se.shuffle(x);
             if dest != x {
                 machine.check_link(placement.apply(x), placement.apply(dest))?;
             }
-            after_shuffle[dest] = after_exchange[x];
+            vals[dest] = scratch[x];
         }
         steps += 1;
-        vals = after_shuffle;
     }
     Ok(AscendOutcome { steps, values: vals })
 }
@@ -129,26 +131,24 @@ pub fn descend_shuffle_exchange(
     assert_eq!(placement.len(), n);
     let h = se.h();
     let mut vals = values.to_vec();
+    let mut scratch = vec![0u64; n];
     let mut steps = 0;
     for _phase in 0..h {
         // Unshuffle first, then exchange: the mirror image of the Ascend run.
-        let mut after_unshuffle = vec![0u64; n];
         for x in 0..n {
             let dest = se.unshuffle(x);
             if dest != x {
                 machine.check_link(placement.apply(x), placement.apply(dest))?;
             }
-            after_unshuffle[dest] = vals[x];
+            scratch[dest] = vals[x];
         }
         steps += 1;
-        let mut after_exchange = after_unshuffle.clone();
         for x in 0..n {
             let partner = se.exchange(x);
             machine.check_link(placement.apply(x), placement.apply(partner))?;
-            after_exchange[x] = after_unshuffle[x].wrapping_add(after_unshuffle[partner]);
+            vals[x] = scratch[x].wrapping_add(scratch[partner]);
         }
         steps += 1;
-        vals = after_exchange;
     }
     Ok(AscendOutcome { steps, values: vals })
 }

@@ -48,18 +48,24 @@ pub fn sequential_inclusive_scan(values: &[u64]) -> Vec<u64> {
 pub fn scan_hypercube(h: usize, values: &[u64]) -> ScanOutcome {
     let n = 1usize << h;
     assert_eq!(values.len(), n, "need one value per logical node");
+    // Ping-pong between two (prefix, total) buffer pairs — allocation per
+    // run is fixed, independent of the number of phases.
     let mut prefix = values.to_vec();
     let mut total = values.to_vec();
+    let mut next_prefix = vec![0u64; n];
+    let mut next_total = vec![0u64; n];
     for dim in 0..h {
-        let prev_prefix = prefix.clone();
-        let prev_total = total.clone();
-        for (x, (p, t)) in prefix.iter_mut().zip(total.iter_mut()).enumerate() {
+        for (x, (p, t)) in next_prefix.iter_mut().zip(next_total.iter_mut()).enumerate() {
             let partner = x ^ (1 << dim);
-            if x & (1 << dim) != 0 {
-                *p = prev_prefix[x].wrapping_add(prev_total[partner]);
-            }
-            *t = prev_total[x].wrapping_add(prev_total[partner]);
+            *p = if x & (1 << dim) != 0 {
+                prefix[x].wrapping_add(total[partner])
+            } else {
+                prefix[x]
+            };
+            *t = total[x].wrapping_add(total[partner]);
         }
+        std::mem::swap(&mut prefix, &mut next_prefix);
+        std::mem::swap(&mut total, &mut next_total);
     }
     ScanOutcome {
         steps: h,
@@ -91,31 +97,35 @@ pub fn scan_shuffle_exchange(
     assert_eq!(values.len(), n, "need one value per logical node");
     assert_eq!(placement.len(), n, "placement must cover every logical node");
     let h = se.h();
-    // State per physical slot: (logical owner, prefix, total).
+    // State per physical slot: (logical owner, prefix, total). Each step
+    // fully overwrites the "next" buffers, so the two buffer sets ping-pong
+    // with no per-phase allocation.
     let mut owner: Vec<usize> = (0..n).collect();
     let mut prefix = values.to_vec();
     let mut total = values.to_vec();
+    let mut next_owner = vec![0usize; n];
+    let mut next_prefix = vec![0u64; n];
+    let mut next_total = vec![0u64; n];
     let mut steps = 0;
     for dim in 0..h {
         // The exchange step pairs slots x and x^1; after `dim` unshuffle
         // steps their owners differ exactly in hypercube dimension `dim`.
-        let prev_prefix = prefix.clone();
-        let prev_total = total.clone();
         for x in 0..n {
             let partner = se.exchange(x);
             machine.check_link(placement.apply(x), placement.apply(partner))?;
             debug_assert_eq!(owner[x] ^ owner[partner], 1 << dim);
-            if owner[x] & (1 << dim) != 0 {
-                prefix[x] = prev_prefix[x].wrapping_add(prev_total[partner]);
-            }
-            total[x] = prev_total[x].wrapping_add(prev_total[partner]);
+            next_prefix[x] = if owner[x] & (1 << dim) != 0 {
+                prefix[x].wrapping_add(total[partner])
+            } else {
+                prefix[x]
+            };
+            next_total[x] = total[x].wrapping_add(total[partner]);
         }
+        std::mem::swap(&mut prefix, &mut next_prefix);
+        std::mem::swap(&mut total, &mut next_total);
         steps += 1;
         // The unshuffle step moves each slot's state (and its owner) along
         // the unshuffle permutation, lining up the next dimension.
-        let mut next_owner = vec![0usize; n];
-        let mut next_prefix = vec![0u64; n];
-        let mut next_total = vec![0u64; n];
         for x in 0..n {
             let dest = se.unshuffle(x);
             if dest != x {
@@ -125,9 +135,9 @@ pub fn scan_shuffle_exchange(
             next_prefix[dest] = prefix[x];
             next_total[dest] = total[x];
         }
-        owner = next_owner;
-        prefix = next_prefix;
-        total = next_total;
+        std::mem::swap(&mut owner, &mut next_owner);
+        std::mem::swap(&mut prefix, &mut next_prefix);
+        std::mem::swap(&mut total, &mut next_total);
         steps += 1;
     }
     // After h unshuffles every slot has rotated all the way around, so slot

@@ -59,6 +59,7 @@ pub fn diagnose(machine: &PhysicalMachine) -> DiagnosisReport {
             continue;
         }
         for &target in g.neighbors(prober) {
+            let target = target as usize;
             probes_sent += 1;
             observed[target] = true;
             if !machine.is_healthy(target) {

@@ -146,14 +146,21 @@ impl PhysicalMachine {
         Ok(())
     }
 
-    /// The healthy neighbours of `u`.
-    pub fn healthy_neighbors(&self, u: NodeId) -> Vec<NodeId> {
+    /// The healthy neighbours of `u`, without allocating. Hot loops (BFS
+    /// fallback routing, diagnosis sweeps) iterate this directly off the
+    /// graph's CSR row.
+    pub fn healthy_neighbors_iter(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.graph
             .neighbors(u)
             .iter()
-            .copied()
+            .map(|&v| v as NodeId)
             .filter(|&v| self.is_healthy(v))
-            .collect()
+    }
+
+    /// The healthy neighbours of `u` as a vector. Prefer
+    /// [`PhysicalMachine::healthy_neighbors_iter`] in loops.
+    pub fn healthy_neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.healthy_neighbors_iter(u).collect()
     }
 
     /// The number of synchronous steps needed for one processor to inject

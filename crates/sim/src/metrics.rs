@@ -19,13 +19,23 @@ impl RoutingStats {
     /// Records one packet outcome.
     pub fn record(&mut self, outcome: &PacketOutcome) {
         match outcome.hops() {
-            Some(h) => {
-                self.delivered += 1;
-                self.total_hops += h as u64;
-                self.max_hops = self.max_hops.max(h);
-            }
-            None => self.dropped += 1,
+            Some(h) => self.record_delivered(h),
+            None => self.record_dropped(),
         }
+    }
+
+    /// Records a delivered packet with the given hop count. Used by the
+    /// allocation-free routing kernels, which report hop counts directly
+    /// instead of materialising a [`PacketOutcome`].
+    pub fn record_delivered(&mut self, hops: usize) {
+        self.delivered += 1;
+        self.total_hops += hops as u64;
+        self.max_hops = self.max_hops.max(hops);
+    }
+
+    /// Records a dropped packet.
+    pub fn record_dropped(&mut self) {
+        self.dropped += 1;
     }
 
     /// Fraction of packets delivered (1.0 for an empty workload).

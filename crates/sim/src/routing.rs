@@ -13,10 +13,20 @@
 //!   physical graph. Used as a foil: it shows that even when packets *can*
 //!   be salvaged without spares, they pay latency and the machine loses the
 //!   uniform-step structure that Ascend/Descend algorithms rely on.
+//!
+//! Both strategies expose two layers:
+//!
+//! * `route_*` functions returning a [`PacketOutcome`] — convenient, but
+//!   they allocate the delivered path.
+//! * `route_*_into` kernels that write the path into a caller-owned buffer
+//!   and report the hop count — zero heap allocation per packet once the
+//!   buffers are warm. [`RouteScratch`] bundles the buffers; the workload
+//!   drivers (sequential and batched) keep one scratch per worker thread
+//!   and route entire permutations without touching the allocator.
 
 use crate::machine::{PhysicalMachine, SimError};
 use crate::metrics::RoutingStats;
-use ftdb_graph::traversal;
+use ftdb_graph::traversal::{self, Searcher};
 use ftdb_graph::{Embedding, NodeId};
 use ftdb_topology::DeBruijn2;
 
@@ -42,6 +52,73 @@ impl PacketOutcome {
     }
 }
 
+/// Reusable per-worker routing scratch: the physical path buffer and the
+/// BFS state for adaptive routing. One `RouteScratch` per thread routes any
+/// number of packets with zero per-packet allocation.
+#[derive(Clone, Debug, Default)]
+pub struct RouteScratch {
+    /// Buffer the routed physical path is written into.
+    pub path: Vec<NodeId>,
+    searcher: Searcher,
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+}
+
+/// Allocation-free kernel for the oblivious de Bruijn route: walks the
+/// digit-shifting route from logical `source` to logical `target`, checking
+/// every physical link and processor through `placement`, and writes the
+/// physical path into `out`.
+///
+/// Returns the hop count on delivery. `out` is cleared first; once its
+/// capacity reaches `h + 1` no allocation happens.
+pub fn route_logical_debruijn_into(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    source: NodeId,
+    target: NodeId,
+    out: &mut Vec<NodeId>,
+) -> Result<usize, SimError> {
+    let n = db.node_count();
+    assert!(source < n && target < n, "route endpoints out of range");
+    out.clear();
+    let g = machine.graph();
+    let h = db.h();
+    let mut current = source;
+    let mut physical = placement.apply(source);
+    if !machine.is_healthy(physical) {
+        return Err(SimError::FaultyProcessor { node: physical });
+    }
+    out.push(physical);
+    for i in (0..h).rev() {
+        let next = db.route_step(current, target >> i);
+        if next != current {
+            let next_physical = placement.apply(next);
+            // `physical` is already known healthy, so only the new endpoint
+            // and the connecting link need checking (same classification as
+            // `PhysicalMachine::check_link`, including its allowance for a
+            // step whose endpoints coincide under a non-injective
+            // placement — no physical link is needed then).
+            if !machine.is_healthy(next_physical) {
+                return Err(SimError::FaultyProcessor { node: next_physical });
+            }
+            if next_physical != physical && !g.has_edge(physical, next_physical) {
+                return Err(SimError::MissingLink { link: (physical, next_physical) });
+            }
+            out.push(next_physical);
+            physical = next_physical;
+        }
+        current = next;
+    }
+    debug_assert_eq!(current, target);
+    Ok(out.len() - 1)
+}
+
 /// Routes one packet along the logical de Bruijn route from logical node
 /// `source` to logical node `target`, executing it on `machine` through the
 /// `placement` embedding.
@@ -52,22 +129,43 @@ pub fn route_logical_debruijn(
     source: NodeId,
     target: NodeId,
 ) -> PacketOutcome {
-    let logical_path = db.route(source, target);
-    let mut physical_path = Vec::with_capacity(logical_path.len());
-    for w in logical_path.windows(2) {
-        let (pu, pv) = (placement.apply(w[0]), placement.apply(w[1]));
-        if let Err(e) = machine.check_link(pu, pv) {
-            return PacketOutcome::Dropped(e);
-        }
+    let mut path = Vec::with_capacity(db.h() + 1);
+    match route_logical_debruijn_into(db, placement, machine, source, target, &mut path) {
+        Ok(_) => PacketOutcome::Delivered { path },
+        Err(e) => PacketOutcome::Dropped(e),
     }
-    for &l in &logical_path {
-        let p = placement.apply(l);
-        if !machine.is_healthy(p) {
-            return PacketOutcome::Dropped(SimError::FaultyProcessor { node: p });
-        }
-        physical_path.push(p);
+}
+
+/// Allocation-free kernel for adaptive routing: BFS restricted to healthy
+/// processors, path written into `scratch.path`. Returns the hop count on
+/// delivery.
+pub fn route_adaptive_into(
+    machine: &PhysicalMachine,
+    physical_source: NodeId,
+    physical_target: NodeId,
+    scratch: &mut RouteScratch,
+) -> Result<usize, SimError> {
+    if !machine.is_healthy(physical_source) {
+        return Err(SimError::FaultyProcessor { node: physical_source });
     }
-    PacketOutcome::Delivered { path: physical_path }
+    if !machine.is_healthy(physical_target) {
+        return Err(SimError::FaultyProcessor { node: physical_target });
+    }
+    let found = scratch.searcher.shortest_path_filtered_into(
+        machine.graph(),
+        physical_source,
+        physical_target,
+        |v| machine.is_healthy(v),
+        &mut scratch.path,
+    );
+    if found {
+        Ok(scratch.path.len() - 1)
+    } else {
+        Err(SimError::Unreachable {
+            source: physical_source,
+            target: physical_target,
+        })
+    }
 }
 
 /// Routes one packet adaptively: shortest path between the *physical*
@@ -77,59 +175,157 @@ pub fn route_adaptive(
     physical_source: NodeId,
     physical_target: NodeId,
 ) -> PacketOutcome {
-    if !machine.is_healthy(physical_source) {
-        return PacketOutcome::Dropped(SimError::FaultyProcessor { node: physical_source });
+    let mut scratch = RouteScratch::new();
+    match route_adaptive_into(machine, physical_source, physical_target, &mut scratch) {
+        Ok(_) => PacketOutcome::Delivered { path: scratch.path },
+        Err(e) => PacketOutcome::Dropped(e),
     }
-    if !machine.is_healthy(physical_target) {
-        return PacketOutcome::Dropped(SimError::FaultyProcessor { node: physical_target });
+}
+
+/// How much per-packet validation a workload run still needs, decided once
+/// per workload by [`workload_trust`]. All tiers produce byte-identical
+/// statistics; the cheaper tiers just skip checks that the upfront
+/// validation proved can never fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Trust {
+    /// Placement images are in range, every logical edge maps to a physical
+    /// link, and the machine has no faults: nothing can fail, count hops
+    /// with pure arithmetic.
+    Full,
+    /// Links are valid but faults exist: check processor health per hop.
+    Health,
+    /// No guarantees: run the full per-hop link + health checks.
+    Checked,
+}
+
+/// Validates `placement` against the machine once: O(V + E) instead of
+/// O(packets · h). This is the batching win — a production machine
+/// validates its routing table when it is installed, not per packet.
+fn workload_trust(db: &DeBruijn2, placement: &Embedding, machine: &PhysicalMachine) -> Trust {
+    let n = machine.node_count();
+    if placement.len() != db.node_count()
+        || placement.as_slice().iter().any(|&p| p >= n)
+    {
+        return Trust::Checked;
     }
-    // BFS restricted to healthy nodes.
     let g = machine.graph();
-    let n = g.node_count();
-    let mut parent = vec![usize::MAX; n];
-    let mut queue = std::collections::VecDeque::new();
-    parent[physical_source] = physical_source;
-    queue.push_back(physical_source);
-    while let Some(u) = queue.pop_front() {
-        if u == physical_target {
-            break;
+    // Coinciding endpoints need no physical link, matching
+    // `PhysicalMachine::check_link`'s allowance for `u == v`.
+    let edges_ok = db.graph().edges().all(|(a, b)| {
+        let (pa, pb) = (placement.apply(a), placement.apply(b));
+        pa == pb || g.has_edge(pa, pb)
+    });
+    if !edges_ok {
+        return Trust::Checked;
+    }
+    if machine.faults().is_empty() {
+        Trust::Full
+    } else {
+        Trust::Health
+    }
+}
+
+/// Hop count of the oblivious route when nothing can fail (Trust::Full):
+/// pure shift arithmetic, no memory traffic besides the instruction stream.
+#[inline]
+fn oblivious_hops_trusted(db: &DeBruijn2, source: NodeId, target: NodeId) -> usize {
+    let n = db.node_count();
+    assert!(source < n && target < n, "route endpoints out of range");
+    let mut hops = 0;
+    let mut current = source;
+    for i in (0..db.h()).rev() {
+        let next = db.route_step(current, target >> i);
+        if next != current {
+            hops += 1;
         }
-        for &v in g.neighbors(u) {
-            if machine.is_healthy(v) && parent[v] == usize::MAX {
-                parent[v] = u;
-                queue.push_back(v);
+        current = next;
+    }
+    hops
+}
+
+/// Hop count when links are trusted but processors may be faulty
+/// (Trust::Health): one health check per visited node.
+#[inline]
+fn oblivious_hops_health(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    source: NodeId,
+    target: NodeId,
+) -> Result<usize, SimError> {
+    let n = db.node_count();
+    assert!(source < n && target < n, "route endpoints out of range");
+    let physical = placement.apply(source);
+    if !machine.is_healthy(physical) {
+        return Err(SimError::FaultyProcessor { node: physical });
+    }
+    let mut hops = 0;
+    let mut current = source;
+    for i in (0..db.h()).rev() {
+        let next = db.route_step(current, target >> i);
+        if next != current {
+            let p = placement.apply(next);
+            if !machine.is_healthy(p) {
+                return Err(SimError::FaultyProcessor { node: p });
+            }
+            hops += 1;
+        }
+        current = next;
+    }
+    Ok(hops)
+}
+
+/// Routes one chunk of a workload under a precomputed trust tier.
+fn run_logical_chunk(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    pairs: &[(NodeId, NodeId)],
+    trust: Trust,
+    path: &mut Vec<NodeId>,
+) -> RoutingStats {
+    let mut stats = RoutingStats::default();
+    match trust {
+        Trust::Full => {
+            for &(s, t) in pairs {
+                stats.record_delivered(oblivious_hops_trusted(db, s, t));
+            }
+        }
+        Trust::Health => {
+            for &(s, t) in pairs {
+                match oblivious_hops_health(db, placement, machine, s, t) {
+                    Ok(hops) => stats.record_delivered(hops),
+                    Err(_) => stats.record_dropped(),
+                }
+            }
+        }
+        Trust::Checked => {
+            for &(s, t) in pairs {
+                match route_logical_debruijn_into(db, placement, machine, s, t, path) {
+                    Ok(hops) => stats.record_delivered(hops),
+                    Err(_) => stats.record_dropped(),
+                }
             }
         }
     }
-    if parent[physical_target] == usize::MAX {
-        return PacketOutcome::Dropped(SimError::Unreachable {
-            source: physical_source,
-            target: physical_target,
-        });
-    }
-    let mut path = vec![physical_target];
-    let mut cur = physical_target;
-    while cur != physical_source {
-        cur = parent[cur];
-        path.push(cur);
-    }
-    path.reverse();
-    PacketOutcome::Delivered { path }
+    stats
 }
 
 /// Routes a whole workload of logical `(source, target)` pairs with the
 /// oblivious de Bruijn strategy and aggregates statistics.
+///
+/// Single-threaded driver over the allocation-free kernels: the placement
+/// is validated once ([`workload_trust`]) and one path buffer serves every
+/// packet — zero allocation per packet.
 pub fn run_logical_workload(
     db: &DeBruijn2,
     placement: &Embedding,
     machine: &PhysicalMachine,
     pairs: &[(NodeId, NodeId)],
 ) -> RoutingStats {
-    let mut stats = RoutingStats::default();
-    for &(s, t) in pairs {
-        stats.record(&route_logical_debruijn(db, placement, machine, s, t));
-    }
-    stats
+    let trust = workload_trust(db, placement, machine);
+    let mut path = Vec::with_capacity(db.h() + 1);
+    run_logical_chunk(db, placement, machine, pairs, trust, &mut path)
 }
 
 /// Routes a workload of *physical* `(source, target)` pairs adaptively.
@@ -138,9 +334,89 @@ pub fn run_adaptive_workload(
     pairs: &[(NodeId, NodeId)],
 ) -> RoutingStats {
     let mut stats = RoutingStats::default();
+    let mut scratch = RouteScratch::new();
     for &(s, t) in pairs {
-        stats.record(&route_adaptive(machine, s, t));
+        match route_adaptive_into(machine, s, t, &mut scratch) {
+            Ok(hops) => stats.record_delivered(hops),
+            Err(_) => stats.record_dropped(),
+        }
     }
+    stats
+}
+
+/// Splits `pairs` into `threads` contiguous chunks and routes each chunk on
+/// its own worker (crossbeam scoped threads), each with private
+/// [`RouteScratch`] buffers. Statistics are merged after the join, so the
+/// hot loop is lock- and allocation-free. With `threads <= 1` (or a tiny
+/// workload) this falls back to the sequential driver — same results either
+/// way, since the per-packet outcomes are independent.
+pub fn run_logical_workload_batched(
+    db: &DeBruijn2,
+    placement: &Embedding,
+    machine: &PhysicalMachine,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> RoutingStats {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    if threads == 1 {
+        return run_logical_workload(db, placement, machine, pairs);
+    }
+    let trust = workload_trust(db, placement, machine);
+    let chunk = pairs.len().div_ceil(threads);
+    let mut stats = RoutingStats::default();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut path = Vec::with_capacity(db.h() + 1);
+                    run_logical_chunk(db, placement, machine, slice, trust, &mut path)
+                })
+            })
+            .collect();
+        for handle in handles {
+            stats.merge(&handle.join().expect("routing worker panicked"));
+        }
+    })
+    .expect("routing scope panicked");
+    stats
+}
+
+/// Batched counterpart of [`run_adaptive_workload`]: contiguous chunks, one
+/// BFS scratch per worker.
+pub fn run_adaptive_workload_batched(
+    machine: &PhysicalMachine,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> RoutingStats {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    if threads == 1 {
+        return run_adaptive_workload(machine, pairs);
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut stats = RoutingStats::default();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut local = RoutingStats::default();
+                    let mut scratch = RouteScratch::new();
+                    for &(s, t) in slice {
+                        match route_adaptive_into(machine, s, t, &mut scratch) {
+                            Ok(hops) => local.record_delivered(hops),
+                            Err(_) => local.record_dropped(),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            stats.merge(&handle.join().expect("routing worker panicked"));
+        }
+    })
+    .expect("routing scope panicked");
     stats
 }
 
@@ -154,8 +430,10 @@ pub fn worst_case_oblivious_hops(db: &DeBruijn2) -> usize {
 mod tests {
     use super::*;
     use crate::machine::PortModel;
+    use crate::workload;
     use ftdb_core::{FaultSet, FtDeBruijn2};
     use ftdb_graph::Embedding;
+    use rand::SeedableRng;
 
     #[test]
     fn healthy_machine_delivers_all_logical_packets() {
@@ -167,6 +445,25 @@ mod tests {
                 let out = route_logical_debruijn(&db, &placement, &machine, s, t);
                 let hops = out.hops().expect("healthy machine must deliver");
                 assert!(hops <= db.h());
+            }
+        }
+    }
+
+    #[test]
+    fn into_kernel_path_matches_outcome_path() {
+        let db = DeBruijn2::new(5);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(db.node_count());
+        let mut path = Vec::new();
+        for (s, t) in [(0, 31), (7, 7), (12, 19)] {
+            let hops = route_logical_debruijn_into(&db, &placement, &machine, s, t, &mut path)
+                .expect("healthy delivery");
+            match route_logical_debruijn(&db, &placement, &machine, s, t) {
+                PacketOutcome::Delivered { path: reference } => {
+                    assert_eq!(path, reference);
+                    assert_eq!(hops, reference.len() - 1);
+                }
+                other => panic!("expected delivery, got {other:?}"),
             }
         }
     }
@@ -250,6 +547,91 @@ mod tests {
         assert!(stats.dropped >= 1); // the packet to the faulty node
         let adaptive = run_adaptive_workload(&machine, &[(0, 7), (6, 2)]);
         assert_eq!(adaptive.delivered + adaptive.dropped, 2);
+    }
+
+    #[test]
+    fn non_injective_placement_delivers_over_coinciding_endpoints() {
+        // check_link treats a step whose physical endpoints coincide as not
+        // needing a link; the kernels and the workload tiers must agree.
+        let db = DeBruijn2::new(3);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let collapsed = Embedding::from_map(vec![0; db.node_count()]);
+        for (s, t) in [(0, 7), (3, 4), (6, 6)] {
+            let out = route_logical_debruijn(&db, &collapsed, &machine, s, t);
+            assert!(out.hops().is_some(), "({s},{t}) must deliver: {out:?}");
+        }
+        let pairs: Vec<(usize, usize)> = (0..8).map(|s| (s, 7 - s)).collect();
+        let mut reference = RoutingStats::default();
+        for &(s, t) in &pairs {
+            reference.record(&route_logical_debruijn(&db, &collapsed, &machine, s, t));
+        }
+        assert_eq!(run_logical_workload(&db, &collapsed, &machine, &pairs), reference);
+        assert_eq!(
+            run_logical_workload_batched(&db, &collapsed, &machine, &pairs, 3),
+            reference
+        );
+    }
+
+    #[test]
+    fn workload_tiers_match_per_packet_reference() {
+        // The trust-tier drivers must aggregate exactly what per-packet
+        // routing reports, on (a) a healthy machine (Full), (b) a faulty
+        // machine (Health), and (c) a machine whose graph is missing links
+        // (Checked).
+        let db = DeBruijn2::new(5);
+        let n = db.node_count();
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let healthy = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut faulty = healthy.clone();
+        faulty.inject_fault(3);
+        faulty.inject_fault(20);
+        let sparse = PhysicalMachine::new(ftdb_graph::generators::cycle(n), PortModel::MultiPort);
+        for machine in [&healthy, &faulty, &sparse] {
+            let mut reference = RoutingStats::default();
+            for &(s, t) in &pairs {
+                reference.record(&route_logical_debruijn(&db, &placement, machine, s, t));
+            }
+            let driver = run_logical_workload(&db, &placement, machine, &pairs);
+            assert_eq!(driver, reference);
+            let batched = run_logical_workload_batched(&db, &placement, machine, &pairs, 3);
+            assert_eq!(batched, reference);
+        }
+    }
+
+    #[test]
+    fn batched_workload_matches_sequential() {
+        let db = DeBruijn2::new(6);
+        let n = db.node_count();
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(5);
+        machine.inject_fault(40);
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let sequential = run_logical_workload(&db, &placement, &machine, &pairs);
+        for threads in [1usize, 2, 4, 7] {
+            let batched = run_logical_workload_batched(&db, &placement, &machine, &pairs, threads);
+            assert_eq!(batched, sequential, "threads={threads}");
+        }
+        let uniform = workload::uniform_pairs(n, 100, &mut rng);
+        let seq_adaptive = run_adaptive_workload(&machine, &uniform);
+        for threads in [2usize, 5] {
+            let batched = run_adaptive_workload_batched(&machine, &uniform, threads);
+            assert_eq!(batched, seq_adaptive, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_workload_handles_degenerate_inputs() {
+        let db = DeBruijn2::new(3);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(db.node_count());
+        let empty = run_logical_workload_batched(&db, &placement, &machine, &[], 4);
+        assert_eq!(empty.delivered + empty.dropped, 0);
+        let single = run_logical_workload_batched(&db, &placement, &machine, &[(0, 5)], 16);
+        assert_eq!(single.delivered, 1);
     }
 
     #[test]

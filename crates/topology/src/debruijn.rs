@@ -100,26 +100,45 @@ impl DeBruijn2 {
         [x >> 1, (x >> 1) | (1 << (self.h - 1))]
     }
 
+    /// One step of the digit-shifting route: shift `bit` into `current`.
+    /// `X(current, 2, bit, 2^h) = ((current << 1) | bit) & (2^h - 1)` —
+    /// shift-and-mask instead of the general modular arithmetic, valid
+    /// because `B(2,h)` always has a power-of-two node count. This is the
+    /// single definition of the step; every routing kernel calls it.
+    #[inline]
+    pub fn route_step(&self, current: NodeId, bit: usize) -> NodeId {
+        ((current << 1) | (bit & 1)) & (self.node_count() - 1)
+    }
+
     /// Routes from `source` to `target` by successively shifting in the bits
     /// of `target`, the standard de Bruijn routing scheme. The returned path
     /// starts at `source`, ends at `target`, and has at most `h + 1` nodes;
     /// consecutive nodes are adjacent (or equal, when a shift is a self-loop,
     /// in which case the duplicate is dropped).
     pub fn route(&self, source: NodeId, target: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.h + 1);
+        self.route_into(source, target, &mut path);
+        path
+    }
+
+    /// Buffer-reusing variant of [`DeBruijn2::route`]: clears `out` and
+    /// writes the path into it. Once `out` has capacity `h + 1` no further
+    /// allocation happens, which is what the batched routing engine relies
+    /// on for its per-packet hot loop.
+    pub fn route_into(&self, source: NodeId, target: NodeId, out: &mut Vec<NodeId>) {
         let n = self.node_count();
         assert!(source < n && target < n, "route endpoints out of range");
-        let mut path = vec![source];
+        out.clear();
+        out.push(source);
         let mut current = source;
         for i in (0..self.h).rev() {
-            let bit = (target >> i) & 1;
-            let next = x_fn(current, 2, bit as i64, n);
+            let next = self.route_step(current, target >> i);
             if next != current {
-                path.push(next);
+                out.push(next);
             }
             current = next;
         }
         debug_assert_eq!(current, target);
-        path
     }
 }
 

@@ -1,0 +1,158 @@
+//! Property tests asserting the CSR `Graph` is observationally identical to
+//! the seed `Vec<Vec<NodeId>>` adjacency representation: same neighbour
+//! order, `has_edge`, `degree`, and BFS distances — on random graphs and on
+//! `B(2,h)` / `SE_h` up to `h = 10`.
+
+use ftdb_graph::{traversal, Graph, GraphBuilder, NodeId};
+use ftdb_topology::{DeBruijn2, ShuffleExchange};
+use proptest::prelude::*;
+use rand::RngExt;
+use std::collections::VecDeque;
+
+/// The seed representation: plain sorted, de-duplicated adjacency lists.
+/// This mirrors the pre-CSR `Graph` internals exactly.
+struct ReferenceGraph {
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl ReferenceGraph {
+    fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v {
+                continue; // self-loops elided, as in GraphBuilder
+            }
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        ReferenceGraph { adjacency }
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v]
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.adjacency.len()
+            && v < self.adjacency.len()
+            && self.adjacency[u].binary_search(&v).is_ok()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Textbook BFS on the reference lists.
+    fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.adjacency.len()];
+        let mut queue = VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].unwrap();
+            for &v in &self.adjacency[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Checks every observable of the CSR graph against the reference model.
+fn assert_observationally_equal(csr: &Graph, reference: &ReferenceGraph) {
+    let n = csr.node_count();
+    assert_eq!(n, reference.adjacency.len());
+    assert_eq!(csr.edge_count(), reference.edge_count());
+    for v in 0..n {
+        assert_eq!(csr.degree(v), reference.degree(v), "degree of {v}");
+        let csr_neighbors: Vec<NodeId> = csr.neighbor_ids(v).collect();
+        assert_eq!(csr_neighbors, reference.neighbors(v), "neighbours of {v}");
+    }
+    // has_edge over all pairs (plus a few out-of-range probes).
+    for u in 0..n {
+        for v in 0..n {
+            assert_eq!(csr.has_edge(u, v), reference.has_edge(u, v), "has_edge({u},{v})");
+        }
+    }
+    assert!(!csr.has_edge(n, 0));
+    assert!(!csr.has_edge(0, n + 7));
+    // BFS distances from a spread of sources.
+    for source in (0..n).step_by((n / 8).max(1)) {
+        assert_eq!(
+            traversal::bfs_distances(csr, source),
+            reference.bfs_distances(source),
+            "BFS from {source}"
+        );
+    }
+    csr.check_invariants().unwrap();
+}
+
+fn random_edges(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = ftdb_tests::seeded_rng(seed);
+    (0..count)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random multigraph input (duplicates and self-loops included): CSR and
+    /// the seed representation must agree on everything observable.
+    #[test]
+    fn csr_matches_reference_on_random_graphs(n in 1usize..48, density in 0usize..4, seed in 0u64..10_000) {
+        let count = n * (density + 1);
+        let edges = random_edges(n, count, seed);
+        let mut builder = GraphBuilder::new(n);
+        builder.add_edges(edges.iter().copied());
+        let csr = builder.build();
+        let reference = ReferenceGraph::from_edges(n, &edges);
+        assert_observationally_equal(&csr, &reference);
+    }
+}
+
+#[test]
+fn csr_matches_reference_on_debruijn_up_to_h10() {
+    for h in 1..=10 {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        // Independent edge generation straight from the digit definition:
+        // shift left (append 0/1) and shift right (prepend 0/1).
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for x in 0..n {
+            edges.push((x, (x << 1) & (n - 1)));
+            edges.push((x, ((x << 1) | 1) & (n - 1)));
+            edges.push((x, x >> 1));
+            edges.push((x, (x >> 1) | (1 << (h - 1))));
+        }
+        let reference = ReferenceGraph::from_edges(n, &edges);
+        assert_observationally_equal(db.graph(), &reference);
+    }
+}
+
+#[test]
+fn csr_matches_reference_on_shuffle_exchange_up_to_h10() {
+    for h in 1..=10 {
+        let se = ShuffleExchange::new(h);
+        let n = se.node_count();
+        // Independent edge generation from the exchange/shuffle arithmetic.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for x in 0..n {
+            edges.push((x, se.exchange(x)));
+            edges.push((x, se.shuffle(x)));
+        }
+        let reference = ReferenceGraph::from_edges(n, &edges);
+        assert_observationally_equal(se.graph(), &reference);
+    }
+}
