@@ -14,10 +14,11 @@
 //!   machines.
 
 use crate::report::{fmt_f64, fmt_steps, TextTable};
-use ftdb_core::{FaultSet, FtShuffleExchange};
+use ftdb_core::{FaultSet, FtDeBruijn2, FtShuffleExchange};
 use ftdb_graph::Embedding;
 use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
 use ftdb_sim::bus_model::bus_timing_table;
+use ftdb_sim::congestion::{run_recovery, CongestionConfig, CongestionSim, FaultResponse};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::metrics::SlowdownRow;
 use ftdb_sim::routing::run_logical_workload;
@@ -175,6 +176,97 @@ pub fn sim1_routing_table(h: usize, k: usize, seed: u64) -> TextTable {
     table
 }
 
+/// SIM3: cycle-level congestion on `B(2,h)` — the four canonical traffic
+/// patterns under both port models. Where SIM1 reports *whether* packets
+/// arrive, SIM3 reports *when*: makespan cycles, cycles/packet, mean and
+/// p95 latency, network throughput (flits/cycle) and the heaviest link.
+pub fn sim3_congestion_table(h: usize, seed: u64) -> TextTable {
+    let db = DeBruijn2::new(h);
+    let n = db.node_count();
+    let placement = Embedding::identity(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let workloads: Vec<(&str, Vec<(usize, usize)>)> = vec![
+        ("permutation", workload::permutation_pairs(n, &mut rng)),
+        ("bit-reversal", workload::bit_reversal_pairs(h)),
+        ("hot-spot (root 0)", workload::all_to_one(n, 0)),
+        ("uniform 4x", workload::uniform_pairs(n, 4 * n, &mut rng)),
+    ];
+    let mut table = TextTable::new(
+        format!("SIM3: cycle-level congestion on B(2,{h}) ({n} nodes)"),
+        &[
+            "workload", "ports", "packets", "cycles", "cycles/packet",
+            "mean latency", "p95 latency", "flits/cycle", "max link flits",
+        ],
+    );
+    for (label, pairs) in &workloads {
+        for (port, port_label) in
+            [(PortModel::MultiPort, "multi"), (PortModel::SinglePort, "single")]
+        {
+            let machine = PhysicalMachine::new(db.graph().clone(), port);
+            let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+            sim.load_oblivious(&db, &placement, pairs);
+            let report = sim.run();
+            table.push_row(vec![
+                label.to_string(),
+                port_label.to_string(),
+                report.injected.to_string(),
+                report.cycles.to_string(),
+                fmt_f64(report.cycles_per_packet()),
+                fmt_f64(report.latency.mean),
+                report.latency.p95.to_string(),
+                fmt_f64(report.flits_per_cycle()),
+                sim.max_link_load().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// SIM4: dynamic fault injection with online recovery on `B^k(2,h)` — a
+/// permutation is in flight when `k` processors die mid-run; the runtime
+/// reconfigures (`reconfigure_verified`) and re-routes the survivors the
+/// same cycle. The table reports the measured recovery latency.
+pub fn sim4_recovery_table(h: usize, k: usize, fault_cycle: u32, seed: u64) -> TextTable {
+    let ft = FtDeBruijn2::new(h, k);
+    let n = ft.target().node_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pairs = workload::permutation_pairs(n, &mut rng);
+    let mut table = TextTable::new(
+        format!("SIM4: mid-run faults + online reconfiguration on B^{k}(2,{h})"),
+        &[
+            "faults", "fault cycle", "total cycles", "drain cycles",
+            "delivered", "lost on dead nodes", "rerouted",
+        ],
+    );
+    for faults in 1..=k {
+        // Kill `faults` distinct processors at the same cycle.
+        let schedule: Vec<(u32, usize)> = (0..faults)
+            .map(|i| (fault_cycle, (i * 7 + 3) % ft.node_count()))
+            .collect();
+        let outcome = run_recovery(
+            &ft,
+            &pairs,
+            &schedule,
+            PortModel::MultiPort,
+            CongestionConfig {
+                fault_response: FaultResponse::RerouteAdaptive,
+                ..CongestionConfig::default()
+            },
+        )
+        .expect("schedule within the fault budget");
+        table.push_row(vec![
+            faults.to_string(),
+            outcome.fault_cycle.to_string(),
+            outcome.report.cycles.to_string(),
+            outcome.drain_cycles.to_string(),
+            outcome.report.delivered.to_string(),
+            outcome.lost_on_dead_nodes.to_string(),
+            outcome.rerouted.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +302,26 @@ mod tests {
         assert!(text.contains("2.00"));
         assert!(text.contains("1.00"));
         assert_eq!(table.row_count(), 4);
+    }
+
+    #[test]
+    fn sim3_congestion_table_covers_all_workloads_and_ports() {
+        let table = sim3_congestion_table(4, 7);
+        assert_eq!(table.row_count(), 8); // 4 workloads x 2 port models
+        let text = table.render();
+        assert!(text.contains("permutation"));
+        assert!(text.contains("bit-reversal"));
+        assert!(text.contains("hot-spot"));
+        assert!(text.contains("uniform"));
+        assert!(text.contains("single"));
+    }
+
+    #[test]
+    fn sim4_recovery_table_reports_drain_latency() {
+        let table = sim4_recovery_table(4, 2, 2, 11);
+        assert_eq!(table.row_count(), 2);
+        let text = table.render();
+        assert!(text.contains("drain cycles"));
     }
 
     #[test]

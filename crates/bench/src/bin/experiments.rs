@@ -7,7 +7,8 @@
 //! ```
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
-//! table3 corollaries tolerance sim sim-bus all` (default: `all`). Output is
+//! table3 corollaries tolerance sim sim-bus sim-congestion ablation all`
+//! (default: `all`). Output is
 //! plain text on stdout; it is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
@@ -23,6 +24,7 @@ use ftdb_analysis::corollaries::{
 use ftdb_analysis::figures;
 use ftdb_analysis::sim_experiments::{
     render_sim1, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
+    sim3_congestion_table, sim4_recovery_table,
 };
 
 fn print_figure(fig: &figures::Figure) {
@@ -116,6 +118,12 @@ fn run(name: &str) -> bool {
         "sim-bus" => {
             println!("{}", sim2_bus_table().render());
         }
+        "sim-congestion" => {
+            for h in [5usize, 7] {
+                println!("{}", sim3_congestion_table(h, 0xF7DB).render());
+            }
+            println!("{}", sim4_recovery_table(6, 3, 2, 0xF7DB).render());
+        }
         "ablation" => {
             let abl1 = offset_ablation(&[(3, 1), (3, 2), (4, 1), (4, 2)], 50_000_000);
             println!("{}", render_offset_ablation(&abl1).render());
@@ -125,7 +133,7 @@ fn run(name: &str) -> bool {
         "all" => {
             for e in [
                 "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
-                "corollaries", "tolerance", "sim", "sim-bus", "ablation",
+                "corollaries", "tolerance", "sim", "sim-bus", "sim-congestion", "ablation",
             ] {
                 run(e);
             }
@@ -150,7 +158,7 @@ fn main() {
     }
     if !ok {
         eprintln!(
-            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|ablation|all]..."
+            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|ablation|all]..."
         );
         std::process::exit(2);
     }

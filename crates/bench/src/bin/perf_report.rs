@@ -18,6 +18,7 @@ use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;
 use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
+use ftdb_sim::congestion::{CongestionConfig, CongestionSim};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::{
     route_logical_debruijn_into, run_adaptive_workload, run_logical_workload,
@@ -86,15 +87,36 @@ fn suite_entry(name: &str, m: &Measurement, items: u64, item_label: &str) -> (St
     )
 }
 
+const USAGE: &str = "usage: perf_report [--quick] [--out PATH]";
+
+/// Prints the offending argument and the usage line, then exits nonzero.
+/// Unknown flags and a dangling `--out` are hard errors: a typo must not
+/// silently produce a full-length run writing to the default path.
+fn usage_error(message: &str) -> ! {
+    eprintln!("perf_report: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let mut quick = false;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => usage_error("--out requires a PATH value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
     let repeats = if quick { 5 } else { 15 };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
@@ -172,6 +194,53 @@ fn main() {
             &m,
             pairs.len() as u64,
             "packet",
+        ));
+    }
+
+    // ---- Cycle-level congestion engine ---------------------------------
+    // Measures the engine's wall-clock cost per simulated packet AND records
+    // the model-level numbers (cycles/packet, flits/cycle) so every PR gets
+    // a contention datapoint, not just a feasibility one.
+    for &(h, port, label) in if quick {
+        &[(8usize, PortModel::MultiPort, "multi")] as &[(usize, PortModel, &str)]
+    } else {
+        &[(8, PortModel::MultiPort, "multi"), (10, PortModel::MultiPort, "multi"),
+          (10, PortModel::SinglePort, "single")]
+    } {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), port);
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+        sim.load_oblivious(&db, &placement, &pairs);
+        let mut last = sim.run(); // warm + model numbers (deterministic)
+        let m = measure(repeats, || {
+            sim.reset();
+            last = sim.run();
+            assert_eq!(last.dropped, 0);
+            black_box(last.cycles);
+        });
+        let name = format!("congestion_permutation_{label}port_h{h}");
+        let (ns, rate) = per_item(&m, pairs.len() as u64);
+        println!(
+            "{name:<40} {ns:>12.1} ns/packet  {rate:>14.0} packet/s  (cycles/packet {:.2}, flits/cycle {:.2})",
+            last.cycles_per_packet(),
+            last.flits_per_cycle(),
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "packet",
+                "items_per_run": pairs.len() as u64,
+                "repeats": m.repeats,
+                "cycles": last.cycles,
+                "cycles_per_packet": last.cycles_per_packet(),
+                "flits_per_cycle": last.flits_per_cycle(),
+            }),
         ));
     }
 

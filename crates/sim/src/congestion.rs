@@ -1,0 +1,1148 @@
+//! Cycle-level congestion engine with dynamic fault injection.
+//!
+//! The static routing kernels in [`crate::routing`] answer *feasibility*
+//! questions — can this packet reach its target, and over how many hops? The
+//! paper's slowdown claims (SIM1/SIM2, the Section V "factor of 2" port
+//! argument) are about *time under contention*, which feasibility cannot
+//! see. This module adds the missing time dimension:
+//!
+//! * Packets advance **one hop per cycle** along a precomputed physical
+//!   route (oblivious de Bruijn or adaptive BFS).
+//! * Each **directed link carries at most one flit per cycle**.
+//! * Per-node output arbitration follows the machine's [`PortModel`]:
+//!   `SinglePort` processors send at most one flit per cycle in total
+//!   (injection or forwarding), `MultiPort` processors send one per incident
+//!   link — exactly the distinction Section V prices at "a factor of 2".
+//! * Blocked packets wait in unbounded output queues (store-and-forward; no
+//!   virtual channels, no wormhole — see ROADMAP "Open items").
+//!
+//! Arbitration is deterministic oldest-first: live packets are visited in
+//! age order every cycle, and a packet claims its output port and link for
+//! the cycle when it moves. Since the first live packet visited always finds
+//! all resources free, at least one flit moves per cycle and every run
+//! terminates within `total-remaining-hops` cycles.
+//!
+//! **Dynamic faults.** A fault schedule (`Vec<(cycle, node)>`) kills
+//! processors *mid-run*. A packet sitting on a dying node is lost with it.
+//! A packet that later tries to enter a dead node reacts according to the
+//! configured [`FaultResponse`]: dropped, or re-routed in place by a BFS
+//! through the surviving machine. On a fault-tolerant machine the driver
+//! [`run_recovery`] goes further: it performs the paper's online
+//! reconfiguration (`reconfigure_verified`) the cycle the fault fires,
+//! re-targets every in-flight packet at the logical target's new physical
+//! image, and drains — measuring *recovery latency*, not just post-hoc
+//! embeddability.
+//!
+//! The steady-state cycle loop is allocation-free after [`CongestionSim`]
+//! construction, in the spirit of PR 2: per-link and per-node claims are
+//! epoch-stamped arrays indexed by CSR edge slot, the live-packet list is
+//! compacted in place, and [`CongestionSim::reset`] rewinds a loaded
+//! workload for reuse without touching the allocator.
+
+use crate::machine::{PhysicalMachine, PortModel, SimError};
+use crate::metrics::LatencySummary;
+use ftdb_core::{FaultSet, FtDeBruijn2};
+use ftdb_graph::traversal::Searcher;
+use ftdb_graph::{Embedding, NodeId};
+use ftdb_topology::DeBruijn2;
+
+/// Sentinel for "not yet": a cycle stamp that no real cycle reaches.
+const NEVER: u32 = u32::MAX;
+/// Sentinel for "no logical target recorded" (adaptive loads).
+const NO_LOGICAL: u32 = u32::MAX;
+
+/// What a packet does when its precomputed route runs into a processor that
+/// died after the route was computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultResponse {
+    /// The packet is dropped at the hop that would enter the dead node.
+    Drop,
+    /// The packet re-routes in place: a BFS through the surviving machine
+    /// from its current position to its (unchanged) physical target. The
+    /// re-route happens when the dead node is *encountered*, the way a real
+    /// router learns about a downed neighbour.
+    RerouteAdaptive,
+}
+
+/// Knobs for a congestion run.
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionConfig {
+    /// Safety cap on simulated cycles; a run that has not drained by then
+    /// reports `completed = false` (it never silently spins).
+    pub max_cycles: u32,
+    /// Reaction to mid-run faults invalidating precomputed routes.
+    pub fault_response: FaultResponse,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            max_cycles: 1 << 20,
+            fault_response: FaultResponse::Drop,
+        }
+    }
+}
+
+/// Aggregate result of a congestion run.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct CongestionReport {
+    /// Cycles simulated until the run drained (or hit the cap).
+    pub cycles: u32,
+    /// Packets loaded into the engine.
+    pub injected: u64,
+    /// Packets delivered to their target.
+    pub delivered: u64,
+    /// Packets dropped (load-time infeasibility or mid-run faults).
+    pub dropped: u64,
+    /// Total flits moved over links (= delivered physical hops).
+    pub total_flits: u64,
+    /// Whether every packet resolved before `max_cycles`.
+    pub completed: bool,
+    /// Latency distribution over delivered packets, in cycles since
+    /// injection (cycle 0).
+    pub latency: LatencySummary,
+}
+
+impl CongestionReport {
+    /// Makespan cycles per delivered packet (the congestion analogue of
+    /// ns/packet; 0.0 when nothing was delivered). Mean *latency* is in
+    /// [`CongestionReport::latency`].
+    pub fn cycles_per_packet(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean flits moved per cycle — aggregate network throughput.
+    pub fn flits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_flits as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of injected packets delivered (1.0 for an empty run).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+}
+
+/// The synchronous cycle-level simulator.
+///
+/// Lifecycle: [`CongestionSim::new`] → `load_*` workload →
+/// ([`CongestionSim::schedule_fault`])* → [`CongestionSim::run`] (or
+/// [`CongestionSim::step`] in a driver loop) → [`CongestionSim::report`].
+/// [`CongestionSim::reset`] rewinds to the post-load state for another run.
+#[derive(Clone, Debug)]
+pub struct CongestionSim {
+    machine: PhysicalMachine,
+    config: CongestionConfig,
+    // --- packet storage (flattened CSR-style paths) --------------------
+    path_data: Vec<u32>,
+    path_start: Vec<u32>,
+    path_end: Vec<u32>,
+    /// Load-time copies of `path_start`/`path_end`: re-routes overwrite the
+    /// live segments with spill positions, and `reset` restores from these.
+    home_start: Vec<u32>,
+    home_end: Vec<u32>,
+    /// Absolute index into `path_data` of each packet's current node.
+    cursor: Vec<u32>,
+    /// Logical target per packet (NO_LOGICAL for adaptive loads); lets the
+    /// recovery driver re-target packets after a reconfiguration.
+    logical_target: Vec<u32>,
+    delivered_at: Vec<u32>,
+    dropped_at: Vec<u32>,
+    /// Snapshot of load-time outcomes so `reset` can rewind: packets dead
+    /// (or delivered) on arrival keep those stamps across resets.
+    resolved_at_load: Vec<u32>,
+    /// Length of `path_data` right after loading finished; `reset`
+    /// truncates re-route spill segments back to this watermark.
+    loaded_path_len: u32,
+    // --- dynamic faults -------------------------------------------------
+    /// `(cycle, node)` pairs sorted by cycle; applied before movement.
+    schedule: Vec<(u32, u32)>,
+    schedule_pos: usize,
+    /// Nodes killed by the schedule so far (dense flags + undo list).
+    dead: Vec<bool>,
+    dead_list: Vec<u32>,
+    // --- cycle state -----------------------------------------------------
+    cycle: u32,
+    /// Live packet ids in age order, compacted in place each cycle.
+    live: Vec<u32>,
+    /// Per-directed-CSR-slot claim stamp: slot is taken for cycle `c` when
+    /// `link_claim[slot] == c`.
+    link_claim: Vec<u32>,
+    /// Per-node output-port claim stamp (consulted under `SinglePort`).
+    node_claim: Vec<u32>,
+    // --- metrics ----------------------------------------------------------
+    /// Flits carried per directed CSR slot over the whole run.
+    link_flits: Vec<u64>,
+    total_flits: u64,
+    delivered: u64,
+    dropped: u64,
+    // --- re-route scratch -------------------------------------------------
+    searcher: Searcher,
+    reroute_path: Vec<NodeId>,
+}
+
+impl CongestionSim {
+    /// Creates an engine for the given machine. The machine's static fault
+    /// set (if any) is honoured at load time; dynamic faults are layered on
+    /// top via [`CongestionSim::schedule_fault`].
+    pub fn new(machine: PhysicalMachine, config: CongestionConfig) -> Self {
+        let n = machine.node_count();
+        let slots = machine.graph().csr().1.len();
+        CongestionSim {
+            config,
+            path_data: Vec::new(),
+            path_start: Vec::new(),
+            path_end: Vec::new(),
+            home_start: Vec::new(),
+            home_end: Vec::new(),
+            cursor: Vec::new(),
+            logical_target: Vec::new(),
+            delivered_at: Vec::new(),
+            dropped_at: Vec::new(),
+            resolved_at_load: Vec::new(),
+            loaded_path_len: 0,
+            schedule: Vec::new(),
+            schedule_pos: 0,
+            dead: vec![false; n],
+            dead_list: Vec::new(),
+            cycle: 0,
+            live: Vec::new(),
+            link_claim: vec![NEVER; slots],
+            node_claim: vec![NEVER; n],
+            link_flits: vec![0; slots],
+            total_flits: 0,
+            delivered: 0,
+            dropped: 0,
+            searcher: Searcher::default(),
+            reroute_path: Vec::new(),
+            machine,
+        }
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &PhysicalMachine {
+        &self.machine
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// `(injected, delivered, dropped, in_flight)` — the conservation
+    /// invariant `delivered + dropped + in_flight == injected` holds after
+    /// every load, step and reset.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.path_start.len() as u64,
+            self.delivered,
+            self.dropped,
+            self.live.len() as u64,
+        )
+    }
+
+    /// Whether `node` is currently usable (healthy in the static fault set
+    /// and not killed by the dynamic schedule).
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.machine.is_healthy(node) && !self.dead[node]
+    }
+
+    /// CSR slot of directed edge `(u, v)`, mirroring `Graph::has_edge`'s
+    /// scan strategy (rows are sorted; short rows scan linearly).
+    fn edge_slot(&self, u: NodeId, v: u32) -> Option<usize> {
+        let (offsets, neighbors) = self.machine.graph().csr();
+        let start = offsets[u] as usize;
+        let row = &neighbors[start..offsets[u + 1] as usize];
+        if row.len() <= 32 {
+            row.iter().position(|&x| x == v).map(|p| start + p)
+        } else {
+            row.binary_search(&v).ok().map(|p| start + p)
+        }
+    }
+
+    /// Appends one packet whose physical path is in `path` (consecutive
+    /// duplicates — artifacts of non-injective placements — are collapsed;
+    /// they cost no cycle and no link). `logical` records the logical
+    /// target for later re-targeting, or `NO_LOGICAL`.
+    fn push_packet(&mut self, path: &[NodeId], logical: u32) {
+        let id = self.path_start.len() as u32;
+        let start = self.path_data.len() as u32;
+        for &node in path {
+            if self.path_data.len() as u32 == start || self.path_data.last() != Some(&(node as u32))
+            {
+                self.path_data.push(node as u32);
+            }
+        }
+        let end = self.path_data.len() as u32;
+        debug_assert!(end > start, "a packet path holds at least its source");
+        self.path_start.push(start);
+        self.path_end.push(end);
+        self.home_start.push(start);
+        self.home_end.push(end);
+        self.cursor.push(start);
+        self.logical_target.push(logical);
+        if end - start == 1 {
+            // Already at the target: delivered at injection, latency 0.
+            self.delivered_at.push(0);
+            self.dropped_at.push(NEVER);
+            self.resolved_at_load.push(0);
+            self.delivered += 1;
+        } else {
+            self.delivered_at.push(NEVER);
+            self.dropped_at.push(NEVER);
+            self.resolved_at_load.push(NEVER);
+            self.live.push(id);
+        }
+    }
+
+    /// Records a packet that could not be routed at load time: it is
+    /// injected and immediately dropped (mirroring the static kernels'
+    /// accounting, where infeasible packets count as dropped).
+    fn push_dead_packet(&mut self, source_hint: NodeId) {
+        let start = self.path_data.len() as u32;
+        self.path_data.push(source_hint as u32);
+        self.path_start.push(start);
+        self.path_end.push(start + 1);
+        self.home_start.push(start);
+        self.home_end.push(start + 1);
+        self.cursor.push(start);
+        self.logical_target.push(NO_LOGICAL);
+        self.delivered_at.push(NEVER);
+        self.dropped_at.push(0);
+        self.resolved_at_load.push(0);
+        self.dropped += 1;
+    }
+
+    /// Loads a workload of logical pairs routed with the oblivious de
+    /// Bruijn scheme through `placement`. Pairs whose fixed route is
+    /// infeasible on the machine as loaded (faulty node, missing link,
+    /// out-of-range endpoint) are injected as immediately-dropped packets.
+    pub fn load_oblivious(
+        &mut self,
+        db: &DeBruijn2,
+        placement: &Embedding,
+        pairs: &[(NodeId, NodeId)],
+    ) {
+        let mut path = Vec::with_capacity(db.h() + 1);
+        self.reserve_for(pairs.len(), db.h() + 1);
+        for &(s, t) in pairs {
+            match crate::routing::route_logical_debruijn_into(
+                db,
+                placement,
+                &self.machine,
+                s,
+                t,
+                &mut path,
+            ) {
+                Ok(_) => self.push_packet(&path, t as u32),
+                Err(_) => {
+                    let hint = if s < placement.len() { placement.apply(s) } else { 0 };
+                    self.push_dead_packet(hint);
+                }
+            }
+        }
+        self.loaded_path_len = self.path_data.len() as u32;
+    }
+
+    /// Loads a workload of *physical* pairs routed adaptively (BFS through
+    /// the currently-healthy machine).
+    pub fn load_adaptive(&mut self, pairs: &[(NodeId, NodeId)]) {
+        let mut scratch = crate::routing::RouteScratch::new();
+        self.reserve_for(pairs.len(), 4);
+        for &(s, t) in pairs {
+            match crate::routing::route_adaptive_into(&self.machine, s, t, &mut scratch) {
+                Ok(_) => self.push_packet(&scratch.path, NO_LOGICAL),
+                Err(_) => self.push_dead_packet(if s < self.machine.node_count() { s } else { 0 }),
+            }
+        }
+        self.loaded_path_len = self.path_data.len() as u32;
+    }
+
+    fn reserve_for(&mut self, packets: usize, hops_guess: usize) {
+        self.path_data.reserve(packets * hops_guess);
+        for v in [
+            &mut self.path_start,
+            &mut self.path_end,
+            &mut self.home_start,
+            &mut self.home_end,
+            &mut self.cursor,
+            &mut self.logical_target,
+            &mut self.delivered_at,
+            &mut self.dropped_at,
+            &mut self.resolved_at_load,
+        ] {
+            v.reserve(packets);
+        }
+        self.live.reserve(packets);
+    }
+
+    /// Schedules processor `node` to die at the *start* of `cycle` (before
+    /// any flit moves that cycle).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn schedule_fault(&mut self, cycle: u32, node: NodeId) {
+        assert!(node < self.machine.node_count(), "fault node out of range");
+        self.schedule.push((cycle, node as u32));
+        self.schedule.sort_unstable();
+    }
+
+    /// The dynamic faults applied so far, merged with the machine's static
+    /// fault set — the set a diagnosing runtime would hand to
+    /// `reconfigure_verified`.
+    pub fn current_fault_set(&self) -> FaultSet {
+        let mut faults = FaultSet::empty(self.machine.node_count());
+        for f in self.machine.faults().iter() {
+            faults.add(f);
+        }
+        for &d in &self.dead_list {
+            faults.add(d as usize);
+        }
+        faults
+    }
+
+    /// Applies schedule entries due at (or before) the current cycle, before
+    /// any flit moves. Packets sitting on a dying node die with it. Returns
+    /// how many nodes were killed; idempotent within a cycle, so a recovery
+    /// driver may call it ahead of [`CongestionSim::step`] to reconfigure
+    /// and re-target *before* the fault-cycle movement.
+    pub fn fire_due_faults(&mut self) -> usize {
+        let mut killed = 0;
+        while self.schedule_pos < self.schedule.len()
+            && self.schedule[self.schedule_pos].0 <= self.cycle
+        {
+            let (_, node) = self.schedule[self.schedule_pos];
+            self.schedule_pos += 1;
+            if !self.dead[node as usize] {
+                self.dead[node as usize] = true;
+                self.dead_list.push(node);
+                killed += 1;
+            }
+        }
+        if killed > 0 {
+            // Packets currently hosted on a dead processor are lost.
+            let cycle = self.cycle;
+            let mut write = 0;
+            for read in 0..self.live.len() {
+                let id = self.live[read] as usize;
+                let here = self.path_data[self.cursor[id] as usize] as usize;
+                if self.dead[here] {
+                    self.dropped_at[id] = cycle;
+                    self.dropped += 1;
+                } else {
+                    self.live[write] = id as u32;
+                    write += 1;
+                }
+            }
+            self.live.truncate(write);
+        }
+        killed
+    }
+
+    /// Replaces the remaining path of live packet `id` with a BFS route
+    /// from its current node to `target`. Returns false (and leaves the
+    /// packet untouched) when no healthy path exists.
+    fn reroute_packet(&mut self, id: usize, target: NodeId) -> bool {
+        let here = self.path_data[self.cursor[id] as usize] as usize;
+        // Split the borrows: BFS needs &self.machine + &mut scratch.
+        let machine = &self.machine;
+        let dead = &self.dead;
+        let found = self.searcher.shortest_path_filtered_into(
+            machine.graph(),
+            here,
+            target,
+            |v| machine.is_healthy(v) && !dead[v],
+            &mut self.reroute_path,
+        );
+        if !found {
+            return false;
+        }
+        // Spill the new path segment; the pre-fault spans stay in place
+        // (only `reset` reclaims the spill, by truncating to the load
+        // watermark).
+        let start = self.path_data.len() as u32;
+        self.path_data
+            .extend(self.reroute_path.iter().map(|&v| v as u32));
+        self.path_start[id] = start;
+        self.path_end[id] = self.path_data.len() as u32;
+        self.cursor[id] = start;
+        true
+    }
+
+    /// Re-targets every in-flight packet that carries a logical target at
+    /// `placement`'s image of that target and re-routes it adaptively —
+    /// the drain step of online reconfiguration. Packets without a healthy
+    /// path (and packets already at the new image) resolve immediately.
+    /// Returns `(rerouted, delivered_in_place, dropped)`.
+    pub fn retarget_and_reroute(&mut self, placement: &Embedding) -> (u64, u64, u64) {
+        let (mut rerouted, mut delivered_in_place, mut dropped) = (0, 0, 0);
+        let cycle = self.cycle;
+        let mut write = 0;
+        for read in 0..self.live.len() {
+            let id = self.live[read] as usize;
+            let logical = self.logical_target[id];
+            if logical == NO_LOGICAL {
+                self.live[write] = id as u32;
+                write += 1;
+                continue;
+            }
+            let target = placement.apply(logical as usize);
+            let here = self.path_data[self.cursor[id] as usize] as usize;
+            if here == target {
+                self.delivered_at[id] = cycle;
+                self.delivered += 1;
+                delivered_in_place += 1;
+            } else if self.reroute_packet(id, target) {
+                rerouted += 1;
+                self.live[write] = id as u32;
+                write += 1;
+            } else {
+                self.dropped_at[id] = cycle;
+                self.dropped += 1;
+                dropped += 1;
+            }
+        }
+        self.live.truncate(write);
+        (rerouted, delivered_in_place, dropped)
+    }
+
+    /// Simulates one cycle: applies due faults, then moves every live
+    /// packet that wins its output port and link. Returns a summary of what
+    /// happened; `CycleEvents::is_idle()` is true only when the run has
+    /// drained.
+    pub fn step(&mut self) -> CycleEvents {
+        let faults_fired = self.fire_due_faults();
+        let stamp = self.cycle;
+        let single_port = self.machine.port_model() == PortModel::SinglePort;
+        let mut moved = 0;
+        let mut write = 0;
+        for read in 0..self.live.len() {
+            let id = self.live[read] as usize;
+            let at = self.cursor[id] as usize;
+            let here = self.path_data[at] as usize;
+            let next = self.path_data[at + 1];
+            if !self.is_alive(next as usize) {
+                // The precomputed route runs into a node that died after
+                // the route was computed.
+                match self.config.fault_response {
+                    FaultResponse::Drop => {
+                        self.dropped_at[id] = stamp;
+                        self.dropped += 1;
+                        continue;
+                    }
+                    FaultResponse::RerouteAdaptive => {
+                        let target = self.path_data[self.path_end[id] as usize - 1] as usize;
+                        if !self.is_alive(target) || !self.reroute_packet(id, target) {
+                            self.dropped_at[id] = stamp;
+                            self.dropped += 1;
+                            continue;
+                        }
+                        if self.cursor[id] + 1 == self.path_end[id] {
+                            // The oblivious route revisited the target and
+                            // the packet was sitting on it: the re-route is
+                            // the empty path, so it is already delivered.
+                            self.delivered_at[id] = stamp;
+                            self.delivered += 1;
+                            continue;
+                        }
+                        // Rerouted this cycle; it may move next cycle.
+                        self.live[write] = id as u32;
+                        write += 1;
+                        continue;
+                    }
+                }
+            }
+            let port_free = !single_port || self.node_claim[here] != stamp;
+            let slot = self
+                .edge_slot(here, next)
+                .expect("loaded paths only traverse physical links");
+            if port_free && self.link_claim[slot] != stamp {
+                // Claim and move.
+                self.link_claim[slot] = stamp;
+                if single_port {
+                    self.node_claim[here] = stamp;
+                }
+                self.link_flits[slot] += 1;
+                self.total_flits += 1;
+                moved += 1;
+                self.cursor[id] = (at + 1) as u32;
+                if self.cursor[id] + 1 == self.path_end[id] {
+                    self.delivered_at[id] = stamp;
+                    self.delivered += 1;
+                    continue;
+                }
+            }
+            self.live[write] = id as u32;
+            write += 1;
+        }
+        self.live.truncate(write);
+        self.cycle += 1;
+        CycleEvents {
+            cycle: stamp,
+            moved,
+            faults_fired,
+            live: self.live.len() as u64,
+        }
+    }
+
+    /// Runs until the workload drains or `max_cycles` is hit. Returns the
+    /// final report.
+    pub fn run(&mut self) -> CongestionReport {
+        while !self.live.is_empty() && self.cycle < self.config.max_cycles {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// The report for the run so far.
+    pub fn report(&self) -> CongestionReport {
+        let mut latencies: Vec<u32> = self
+            .delivered_at
+            .iter()
+            .filter(|&&c| c != NEVER)
+            .copied()
+            .collect();
+        CongestionReport {
+            cycles: self.cycle,
+            injected: self.path_start.len() as u64,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            total_flits: self.total_flits,
+            completed: self.live.is_empty(),
+            latency: LatencySummary::from_latencies(&mut latencies),
+        }
+    }
+
+    /// Flit counts per directed link, heaviest first: the link-utilisation
+    /// map (allocates; call after the run).
+    pub fn link_loads(&self) -> Vec<(NodeId, NodeId, u64)> {
+        let (offsets, neighbors) = self.machine.graph().csr();
+        let mut loads = Vec::new();
+        for u in 0..self.machine.node_count() {
+            let row = offsets[u] as usize..offsets[u + 1] as usize;
+            for (slot, &v) in neighbors[row.clone()].iter().enumerate().map(|(i, v)| (row.start + i, v)) {
+                if self.link_flits[slot] > 0 {
+                    loads.push((u, v as NodeId, self.link_flits[slot]));
+                }
+            }
+        }
+        loads.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        loads
+    }
+
+    /// The heaviest per-link flit count (0 before any movement).
+    pub fn max_link_load(&self) -> u64 {
+        self.link_flits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Rewinds the engine to the post-load state — same packets, same fault
+    /// schedule, cycle 0 — without touching the allocator, so a warmed
+    /// engine can be re-run for benchmarking (`perf_report`) and for the
+    /// counting-allocator harness.
+    pub fn reset(&mut self) {
+        self.path_data.truncate(self.loaded_path_len as usize);
+        self.live.clear();
+        self.delivered = 0;
+        self.dropped = 0;
+        for id in 0..self.path_start.len() {
+            // Restore the load-time route segment: a mid-run re-route
+            // repointed this packet at a spill region that the truncation
+            // above just reclaimed.
+            self.path_start[id] = self.home_start[id];
+            self.path_end[id] = self.home_end[id];
+            self.cursor[id] = self.path_start[id];
+            if self.resolved_at_load[id] == NEVER {
+                self.delivered_at[id] = NEVER;
+                self.dropped_at[id] = NEVER;
+                self.live.push(id as u32);
+            } else if self.delivered_at[id] != NEVER {
+                // Load-time outcomes (zero-hop delivery, infeasible-route
+                // drop) were never overwritten by the run; re-count them.
+                self.delivered += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
+        for &d in &self.dead_list {
+            self.dead[d as usize] = false;
+        }
+        self.dead_list.clear();
+        self.schedule_pos = 0;
+        self.cycle = 0;
+        self.total_flits = 0;
+        for f in &mut self.link_flits {
+            *f = 0;
+        }
+        for c in &mut self.link_claim {
+            *c = NEVER;
+        }
+        for c in &mut self.node_claim {
+            *c = NEVER;
+        }
+    }
+}
+
+/// What one [`CongestionSim::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleEvents {
+    /// The cycle that was simulated.
+    pub cycle: u32,
+    /// Flits that moved.
+    pub moved: u64,
+    /// Processors killed by the fault schedule this cycle.
+    pub faults_fired: usize,
+    /// Packets still in flight afterwards.
+    pub live: u64,
+}
+
+impl CycleEvents {
+    /// True when the network is drained (nothing left to move).
+    pub fn is_idle(&self) -> bool {
+        self.live == 0
+    }
+}
+
+/// Outcome of a [`run_recovery`] scenario.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct RecoveryOutcome {
+    /// The full congestion report of the run (pre- and post-fault cycles).
+    pub report: CongestionReport,
+    /// The cycle the (first) fault fired.
+    pub fault_cycle: u32,
+    /// Cycles from the fault until the network drained — the recovery
+    /// latency the static analysis could never measure.
+    pub drain_cycles: u32,
+    /// Packets lost *with* the dying processors (they cannot be saved).
+    pub lost_on_dead_nodes: u64,
+    /// In-flight packets re-routed by the online reconfiguration.
+    pub rerouted: u64,
+}
+
+/// Runs the paper's full online-recovery story on the fault-tolerant
+/// machine `B^k(2,h)`, cycle-accurately:
+///
+/// 1. Route `pairs` (logical, on the target `B(2,h)`) obliviously through
+///    the initial zero-fault placement and start the clock.
+/// 2. At each scheduled fault, processors die mid-run; packets hosted on
+///    them are lost.
+/// 3. The same cycle, the runtime diagnoses the accumulated fault set,
+///    performs `reconfigure_verified`, re-targets every surviving in-flight
+///    packet at its logical target's *new* physical image and re-routes it
+///    through the surviving machine.
+/// 4. The run drains; `drain_cycles` is the measured recovery latency.
+///
+/// Returns an error if the fault schedule exceeds the construction's
+/// budget `k` (reconfiguration is only guaranteed below it).
+pub fn run_recovery(
+    ft: &FtDeBruijn2,
+    pairs: &[(NodeId, NodeId)],
+    fault_schedule: &[(u32, NodeId)],
+    port_model: PortModel,
+    config: CongestionConfig,
+) -> Result<RecoveryOutcome, SimError> {
+    // Budget-check the *distinct* processors the schedule kills (a node
+    // named at several cycles dies once), surfacing over-budget schedules
+    // as a simulation error instead of panicking inside reconfigure().
+    let mut nodes: Vec<NodeId> = fault_schedule.iter().map(|&(_, node)| node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    if nodes.len() > ft.k() {
+        return Err(SimError::FaultBudgetExceeded {
+            faults: nodes.len(),
+            budget: ft.k(),
+        });
+    }
+    let machine = PhysicalMachine::new(ft.graph().clone(), port_model);
+    let initial = ft.reconfigure(&FaultSet::empty(ft.node_count()));
+    let mut sim = CongestionSim::new(machine, config);
+    sim.load_oblivious(ft.target(), &initial, pairs);
+    for &(cycle, node) in fault_schedule {
+        sim.schedule_fault(cycle, node);
+    }
+    let mut fault_cycle = NEVER;
+    let mut lost_on_dead_nodes = 0;
+    let mut rerouted = 0;
+    while sim.counts().3 > 0 && sim.cycle() < config.max_cycles {
+        // Fire due faults *before* this cycle's movement so the online
+        // reconfiguration can re-target in-flight packets the same cycle the
+        // processors die — packets lost are exactly those hosted on them.
+        let before_drop = sim.counts().2;
+        if sim.fire_due_faults() > 0 {
+            if fault_cycle == NEVER {
+                fault_cycle = sim.cycle();
+            }
+            lost_on_dead_nodes += sim.counts().2 - before_drop;
+            // Online reconfiguration: diagnose, re-embed, drain.
+            let faults = sim.current_fault_set();
+            let placement = ft
+                .reconfigure_verified(&faults)
+                .expect("Theorem 1: any fault set within the budget is tolerated");
+            let (r, _, _) = sim.retarget_and_reroute(&placement);
+            rerouted += r;
+        }
+        sim.step();
+    }
+    let report = sim.report();
+    let drain_cycles = if fault_cycle == NEVER {
+        0
+    } else {
+        report.cycles - fault_cycle
+    };
+    Ok(RecoveryOutcome {
+        report,
+        fault_cycle: if fault_cycle == NEVER { 0 } else { fault_cycle },
+        drain_cycles,
+        lost_on_dead_nodes,
+        rerouted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::run_logical_workload;
+    use crate::workload;
+    use rand::SeedableRng;
+
+    fn healthy_sim(h: usize, port: PortModel) -> (DeBruijn2, CongestionSim) {
+        let db = DeBruijn2::new(h);
+        let machine = PhysicalMachine::new(db.graph().clone(), port);
+        let sim = CongestionSim::new(machine, CongestionConfig::default());
+        (db, sim)
+    }
+
+    #[test]
+    fn healthy_permutation_delivers_everything_with_static_hop_counts() {
+        let (db, mut sim) = healthy_sim(5, PortModel::MultiPort);
+        let n = db.node_count();
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        sim.load_oblivious(&db, &placement, &pairs);
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.delivered, n as u64);
+        assert_eq!(report.dropped, 0);
+        // Congestion changes *when* flits move, never *how many*: total
+        // flits equals the static kernels' total hop count.
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+        assert_eq!(report.total_flits, stats.total_hops);
+        // Latency is at least the hop count and at most the full run.
+        assert!(report.latency.max as usize >= stats.max_hops.saturating_sub(1));
+        assert!(report.cycles as u64 >= stats.max_hops as u64);
+    }
+
+    #[test]
+    fn conservation_holds_every_cycle() {
+        let (db, mut sim) = healthy_sim(4, PortModel::SinglePort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pairs = workload::uniform_pairs(n, 3 * n, &mut rng);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        sim.schedule_fault(2, 3);
+        sim.schedule_fault(4, 9);
+        loop {
+            let (injected, delivered, dropped, in_flight) = sim.counts();
+            assert_eq!(delivered + dropped + in_flight, injected);
+            if in_flight == 0 {
+                break;
+            }
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn at_least_one_flit_moves_per_cycle_until_drained() {
+        let (db, mut sim) = healthy_sim(4, PortModel::SinglePort);
+        let n = db.node_count();
+        sim.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, 0));
+        loop {
+            let events = sim.step();
+            if events.is_idle() {
+                break;
+            }
+            assert!(events.moved >= 1, "live cycle with no movement (deadlock)");
+        }
+    }
+
+    #[test]
+    fn zero_hop_packets_are_delivered_at_injection() {
+        let (db, mut sim) = healthy_sim(3, PortModel::MultiPort);
+        // 0 and 7 are the all-zeros/all-ones labels: the only self-routes
+        // whose digit-shifting path is empty (every shift is a self-loop).
+        sim.load_oblivious(
+            &db,
+            &Embedding::identity(db.node_count()),
+            &[(7, 7), (0, 0)],
+        );
+        let report = sim.run();
+        assert_eq!(report.delivered, 2);
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.latency.max, 0);
+    }
+
+    #[test]
+    fn load_time_infeasible_packets_count_as_dropped() {
+        let db = DeBruijn2::new(4);
+        let n = db.node_count();
+        let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        machine.inject_fault(1);
+        let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+        // (5, 1) ends at the fault; (n, 0) is out of range; (10, 5) routes
+        // clear of node 1 (10 → 4 → 9 → 2 → 5).
+        sim.load_oblivious(&db, &Embedding::identity(n), &[(5, 1), (n, 0), (10, 5)]);
+        let report = sim.run();
+        assert_eq!(report.injected, 3);
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.delivered, 1);
+    }
+
+    #[test]
+    fn single_port_is_slower_than_multi_port_on_contended_workloads() {
+        let h = 5;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let pairs = workload::uniform_pairs(n, 4 * n, &mut rng);
+        let mut cycles = Vec::new();
+        for port in [PortModel::MultiPort, PortModel::SinglePort] {
+            let machine = PhysicalMachine::new(db.graph().clone(), port);
+            let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+            sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+            let report = sim.run();
+            assert!(report.completed);
+            assert_eq!(report.delivered, pairs.len() as u64);
+            cycles.push(report.cycles);
+        }
+        assert!(
+            cycles[1] > cycles[0],
+            "SinglePort ({}) must be slower than MultiPort ({})",
+            cycles[1],
+            cycles[0]
+        );
+    }
+
+    #[test]
+    fn hot_spot_saturates_at_the_roots_port_limit() {
+        let h = 5;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let root = 5;
+        let in_degree = db.graph().degree(root) as u64;
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+        sim.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, root));
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.delivered, n as u64);
+        // All but the root's own packet must cross one of the root's
+        // incident links on the final hop: the drain rate is capped by the
+        // root's degree, which lower-bounds the makespan.
+        let others = (n - 1) as u64;
+        assert!(
+            report.cycles as u64 >= others.div_ceil(in_degree),
+            "cycles {} below the port-limit bound {}",
+            report.cycles,
+            others.div_ceil(in_degree)
+        );
+        // And the heaviest link (into the root) carries a commensurate
+        // share of the traffic.
+        assert!(sim.max_link_load() >= others / in_degree);
+    }
+
+    #[test]
+    fn mid_run_fault_drops_or_reroutes_by_policy() {
+        let h = 4;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let mut dropped_by_policy = Vec::new();
+        for response in [FaultResponse::Drop, FaultResponse::RerouteAdaptive] {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim = CongestionSim::new(
+                machine,
+                CongestionConfig { fault_response: response, ..CongestionConfig::default() },
+            );
+            // Everyone routes to node 2; node 1 (a predecessor of 2, so on
+            // many routes) dies at cycle 1 while packets are in flight.
+            sim.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, 2));
+            sim.schedule_fault(1, 1);
+            let report = sim.run();
+            assert!(report.completed);
+            assert_eq!(report.delivered + report.dropped, n as u64);
+            // Packets hosted on node 1 when it dies are lost either way.
+            assert!(report.dropped >= 1, "the fault must cost something");
+            dropped_by_policy.push(report.dropped);
+        }
+        // Reroute saves the through-traffic that the drop policy loses: only
+        // packets *on* the dead node at the fault cycle stay lost.
+        assert!(
+            dropped_by_policy[1] < dropped_by_policy[0],
+            "reroute ({}) must lose fewer packets than drop ({})",
+            dropped_by_policy[1],
+            dropped_by_policy[0]
+        );
+    }
+
+    #[test]
+    fn reroute_while_sitting_on_a_revisited_target_delivers() {
+        // Oblivious routes may pass *through* the target: 6 -> 5 on B(2,3)
+        // walks [6, 5, 2, 5]. Kill node 2 while the packet rests on 5: the
+        // adaptive re-route to target 5 is the empty path, so the packet is
+        // delivered on the spot — not left live with an exhausted route.
+        let db = DeBruijn2::new(3);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                fault_response: FaultResponse::RerouteAdaptive,
+                ..CongestionConfig::default()
+            },
+        );
+        sim.load_oblivious(&db, &Embedding::identity(db.node_count()), &[(6, 5)]);
+        sim.schedule_fault(1, 2);
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn reset_restores_routes_overwritten_by_mid_run_reroutes() {
+        // A re-route points a packet at a spill segment past the load
+        // watermark; reset() must restore the original route so a second
+        // run is identical (and does not index into truncated storage).
+        let db = DeBruijn2::new(5);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                fault_response: FaultResponse::RerouteAdaptive,
+                ..CongestionConfig::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        sim.load_oblivious(
+            &db,
+            &Embedding::identity(n),
+            &workload::permutation_pairs(n, &mut rng),
+        );
+        sim.schedule_fault(1, 9);
+        let first = sim.run();
+        assert!(first.delivered > 0);
+        sim.reset();
+        let second = sim.run();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn recovery_budget_counts_distinct_processors() {
+        // The same node scheduled at two cycles dies once: a k = 1
+        // construction must accept it.
+        let ft = FtDeBruijn2::new(4, 1);
+        let n = ft.target().node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let outcome = run_recovery(
+            &ft,
+            &pairs,
+            &[(1, 2), (3, 2)],
+            PortModel::MultiPort,
+            CongestionConfig {
+                fault_response: FaultResponse::RerouteAdaptive,
+                ..CongestionConfig::default()
+            },
+        )
+        .expect("one distinct fault is within a k = 1 budget");
+        assert!(outcome.report.completed);
+        assert_eq!(
+            outcome.report.delivered + outcome.lost_on_dead_nodes,
+            n as u64
+        );
+    }
+
+    #[test]
+    fn reset_reproduces_identical_runs() {
+        let (db, mut sim) = healthy_sim(5, PortModel::SinglePort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let pairs = workload::uniform_pairs(n, 2 * n, &mut rng);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        sim.schedule_fault(3, 7);
+        let first = sim.run();
+        sim.reset();
+        let counts = sim.counts();
+        assert_eq!(counts.0, pairs.len() as u64);
+        let second = sim.run();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn recovery_delivers_all_surviving_packets() {
+        let (h, k) = (4, 2);
+        let ft = FtDeBruijn2::new(h, k);
+        let n = ft.target().node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let outcome = run_recovery(
+            &ft,
+            &pairs,
+            &[(2, 3), (2, 11)],
+            PortModel::MultiPort,
+            CongestionConfig { fault_response: FaultResponse::RerouteAdaptive, ..Default::default() },
+        )
+        .expect("within fault budget");
+        assert!(outcome.report.completed);
+        assert_eq!(outcome.fault_cycle, 2);
+        assert!(outcome.drain_cycles > 0);
+        // Everything not sitting on a dying processor must be delivered.
+        assert_eq!(
+            outcome.report.delivered + outcome.lost_on_dead_nodes,
+            n as u64
+        );
+        assert_eq!(outcome.report.dropped, outcome.lost_on_dead_nodes);
+    }
+
+    #[test]
+    fn recovery_rejects_over_budget_schedules() {
+        let ft = FtDeBruijn2::new(3, 1);
+        let err = run_recovery(
+            &ft,
+            &[(0, 5)],
+            &[(1, 2), (2, 3)],
+            PortModel::MultiPort,
+            CongestionConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn link_loads_are_sorted_and_conserve_flits() {
+        let (db, mut sim) = healthy_sim(4, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        sim.load_oblivious(
+            &db,
+            &Embedding::identity(n),
+            &workload::permutation_pairs(n, &mut rng),
+        );
+        let report = sim.run();
+        let loads = sim.link_loads();
+        let total: u64 = loads.iter().map(|&(_, _, f)| f).sum();
+        assert_eq!(total, report.total_flits);
+        assert!(loads.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert_eq!(loads.first().map(|&(_, _, f)| f), Some(sim.max_link_load()));
+    }
+}

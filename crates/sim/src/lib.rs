@@ -24,6 +24,9 @@
 //! * [`routing`] — packet routing on healthy and faulty machines, both along
 //!   the logical de Bruijn/shuffle-exchange routes and with fault-avoiding
 //!   BFS fallback.
+//! * [`congestion`] — the cycle-level congestion engine: one flit per
+//!   directed link per cycle, `PortModel` output arbitration, dynamic
+//!   mid-run fault injection and online reconfiguration recovery.
 //! * [`bus_model`] — the Section V bus implementation's timing model
 //!   (experiment SIM2: the "factor of ≈ 2" bus slowdown).
 //! * [`workload`] and [`metrics`] — traffic generators and summary
@@ -35,10 +38,12 @@
 pub mod ascend_descend;
 pub mod bus_model;
 pub mod collectives;
+pub mod congestion;
 pub mod diagnosis;
 pub mod machine;
 pub mod metrics;
 pub mod routing;
 pub mod workload;
 
+pub use congestion::{CongestionConfig, CongestionReport, CongestionSim, FaultResponse};
 pub use machine::{PhysicalMachine, PortModel, SimError};

@@ -42,6 +42,23 @@ pub enum SimError {
         /// Destination of the packet.
         target: NodeId,
     },
+    /// A route endpoint does not name a node of the logical topology. The
+    /// routing kernels return this instead of panicking, so a malformed
+    /// workload degrades into dropped packets like every other failure.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The number of logical nodes (valid endpoints are `0..limit`).
+        limit: usize,
+    },
+    /// A dynamic fault scenario asked for more faults than the
+    /// fault-tolerant construction is built to tolerate.
+    FaultBudgetExceeded {
+        /// Number of faults in the scenario.
+        faults: usize,
+        /// The construction's budget `k`.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -53,6 +70,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::Unreachable { source, target } => {
                 write!(f, "no healthy path from {source} to {target}")
+            }
+            SimError::EndpointOutOfRange { node, limit } => {
+                write!(f, "route endpoint {node} is out of range (0..{limit})")
+            }
+            SimError::FaultBudgetExceeded { faults, budget } => {
+                write!(f, "{faults} faults exceed the construction's budget k = {budget}")
             }
         }
     }
@@ -236,5 +259,8 @@ mod tests {
         assert!(SimError::Unreachable { source: 1, target: 2 }
             .to_string()
             .contains("healthy path"));
+        assert!(SimError::EndpointOutOfRange { node: 9, limit: 8 }
+            .to_string()
+            .contains("out of range"));
     }
 }

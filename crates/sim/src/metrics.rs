@@ -79,10 +79,56 @@ pub struct SlowdownRow {
 }
 
 impl SlowdownRow {
-    /// The slowdown factor relative to the reference, if the run completed.
+    /// The slowdown factor relative to the reference, if the run completed
+    /// *and* the reference is meaningful. A zero reference step count has no
+    /// slowdown — returning `None` (rendered as "-") is honest, where the
+    /// old `.max(1)` silently reported the raw step count as the factor.
     pub fn slowdown(&self) -> Option<f64> {
-        self.steps
-            .map(|s| s as f64 / self.reference_steps.max(1) as f64)
+        if self.reference_steps == 0 {
+            return None;
+        }
+        self.steps.map(|s| s as f64 / self.reference_steps as f64)
+    }
+}
+
+/// Distribution summary of per-packet delivery latencies (in cycles) from a
+/// cycle-level congestion run. Computed once after the run, so it may sort
+/// and allocate freely — the engine's hot loop only stamps delivery cycles.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct LatencySummary {
+    /// Number of delivered packets summarised.
+    pub count: u64,
+    /// Mean latency in cycles (0.0 when nothing was delivered).
+    pub mean: f64,
+    /// Median latency.
+    pub p50: u32,
+    /// 95th-percentile latency.
+    pub p95: u32,
+    /// Maximum latency.
+    pub max: u32,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latencies. The slice is sorted in place.
+    pub fn from_latencies(latencies: &mut [u32]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let count = latencies.len() as u64;
+        let total: u64 = latencies.iter().map(|&l| l as u64).sum();
+        // Nearest-rank percentiles: index ⌈q·n⌉ - 1 on the sorted data.
+        let rank = |q: f64| -> u32 {
+            let idx = ((q * count as f64).ceil() as usize).max(1) - 1;
+            latencies[idx.min(latencies.len() - 1)]
+        };
+        LatencySummary {
+            count,
+            mean: total as f64 / count as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *latencies.last().expect("non-empty"),
+        }
     }
 }
 
@@ -145,5 +191,37 @@ mod tests {
             reference_steps: 4,
         };
         assert_eq!(stalled.slowdown(), None);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut empty: [u32; 0] = [];
+        assert_eq!(LatencySummary::from_latencies(&mut empty), LatencySummary::default());
+        let mut one = [7u32];
+        let s = LatencySummary::from_latencies(&mut one);
+        assert_eq!((s.count, s.p50, s.p95, s.max), (1, 7, 7, 7));
+        assert!((s.mean - 7.0).abs() < 1e-12);
+        let mut twenty: Vec<u32> = (1..=20).rev().collect();
+        let s = LatencySummary::from_latencies(&mut twenty);
+        assert_eq!((s.count, s.p50, s.p95, s.max), (20, 10, 19, 20));
+        assert!((s.mean - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_has_no_slowdown() {
+        // A degenerate reference (0 steps) must not masquerade as a factor:
+        // the old `.max(1)` clamp silently reported `steps` itself.
+        let degenerate = SlowdownRow {
+            scenario: "empty reference".into(),
+            steps: Some(8),
+            reference_steps: 0,
+        };
+        assert_eq!(degenerate.slowdown(), None);
+        let stalled_and_degenerate = SlowdownRow {
+            scenario: "both degenerate".into(),
+            steps: None,
+            reference_steps: 0,
+        };
+        assert_eq!(stalled_and_degenerate.slowdown(), None);
     }
 }

@@ -84,8 +84,7 @@ pub fn route_logical_debruijn_into(
     target: NodeId,
     out: &mut Vec<NodeId>,
 ) -> Result<usize, SimError> {
-    let n = db.node_count();
-    assert!(source < n && target < n, "route endpoints out of range");
+    check_endpoints(db, source, target)?;
     out.clear();
     let g = machine.graph();
     let h = db.h();
@@ -145,6 +144,12 @@ pub fn route_adaptive_into(
     physical_target: NodeId,
     scratch: &mut RouteScratch,
 ) -> Result<usize, SimError> {
+    let limit = machine.node_count();
+    for endpoint in [physical_source, physical_target] {
+        if endpoint >= limit {
+            return Err(SimError::EndpointOutOfRange { node: endpoint, limit });
+        }
+    }
     if !machine.is_healthy(physical_source) {
         return Err(SimError::FaultyProcessor { node: physical_source });
     }
@@ -225,12 +230,26 @@ fn workload_trust(db: &DeBruijn2, placement: &Embedding, machine: &PhysicalMachi
     }
 }
 
+/// Checks that both route endpoints name logical nodes. Every kernel calls
+/// this first, so a malformed pair surfaces as a [`SimError`] (and thus a
+/// dropped packet in the workload drivers) instead of a release-mode panic.
+#[inline]
+fn check_endpoints(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<(), SimError> {
+    let limit = db.node_count();
+    if source >= limit {
+        return Err(SimError::EndpointOutOfRange { node: source, limit });
+    }
+    if target >= limit {
+        return Err(SimError::EndpointOutOfRange { node: target, limit });
+    }
+    Ok(())
+}
+
 /// Hop count of the oblivious route when nothing can fail (Trust::Full):
 /// pure shift arithmetic, no memory traffic besides the instruction stream.
 #[inline]
-fn oblivious_hops_trusted(db: &DeBruijn2, source: NodeId, target: NodeId) -> usize {
-    let n = db.node_count();
-    assert!(source < n && target < n, "route endpoints out of range");
+fn oblivious_hops_trusted(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<usize, SimError> {
+    check_endpoints(db, source, target)?;
     let mut hops = 0;
     let mut current = source;
     for i in (0..db.h()).rev() {
@@ -240,7 +259,7 @@ fn oblivious_hops_trusted(db: &DeBruijn2, source: NodeId, target: NodeId) -> usi
         }
         current = next;
     }
-    hops
+    Ok(hops)
 }
 
 /// Hop count when links are trusted but processors may be faulty
@@ -253,8 +272,7 @@ fn oblivious_hops_health(
     source: NodeId,
     target: NodeId,
 ) -> Result<usize, SimError> {
-    let n = db.node_count();
-    assert!(source < n && target < n, "route endpoints out of range");
+    check_endpoints(db, source, target)?;
     let physical = placement.apply(source);
     if !machine.is_healthy(physical) {
         return Err(SimError::FaultyProcessor { node: physical });
@@ -288,7 +306,10 @@ fn run_logical_chunk(
     match trust {
         Trust::Full => {
             for &(s, t) in pairs {
-                stats.record_delivered(oblivious_hops_trusted(db, s, t));
+                match oblivious_hops_trusted(db, s, t) {
+                    Ok(hops) => stats.record_delivered(hops),
+                    Err(_) => stats.record_dropped(),
+                }
             }
         }
         Trust::Health => {
@@ -632,6 +653,59 @@ mod tests {
         assert_eq!(empty.delivered + empty.dropped, 0);
         let single = run_logical_workload_batched(&db, &placement, &machine, &[(0, 5)], 16);
         assert_eq!(single.delivered, 1);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_errors_not_panics() {
+        let db = DeBruijn2::new(3);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(n);
+        let mut path = Vec::new();
+        // Oblivious kernel: source and target out of range, in both orders.
+        for (s, t) in [(n, 0), (0, n + 3)] {
+            let bad = s.max(t);
+            assert_eq!(
+                route_logical_debruijn_into(&db, &placement, &machine, s, t, &mut path),
+                Err(SimError::EndpointOutOfRange { node: bad, limit: n })
+            );
+            assert!(matches!(
+                route_logical_debruijn(&db, &placement, &machine, s, t),
+                PacketOutcome::Dropped(SimError::EndpointOutOfRange { .. })
+            ));
+        }
+        // Adaptive kernel.
+        let mut scratch = RouteScratch::new();
+        assert_eq!(
+            route_adaptive_into(&machine, n, 0, &mut scratch),
+            Err(SimError::EndpointOutOfRange { node: n, limit: n })
+        );
+        assert_eq!(
+            route_adaptive_into(&machine, 0, n + 1, &mut scratch),
+            Err(SimError::EndpointOutOfRange { node: n + 1, limit: n })
+        );
+    }
+
+    #[test]
+    fn out_of_range_pairs_count_as_dropped_in_every_trust_tier() {
+        // The same malformed pair must degrade into one dropped packet on a
+        // healthy machine (Full tier), a faulty machine (Health tier) and a
+        // link-deficient machine (Checked tier) — never a panic.
+        let db = DeBruijn2::new(3);
+        let n = db.node_count();
+        let placement = Embedding::identity(n);
+        let pairs = vec![(0, 5), (n + 7, 1), (2, n), (3, 3)];
+        let healthy = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut faulty = healthy.clone();
+        faulty.inject_fault(6);
+        let sparse = PhysicalMachine::new(ftdb_graph::generators::cycle(n), PortModel::MultiPort);
+        for machine in [&healthy, &faulty, &sparse] {
+            let stats = run_logical_workload(&db, &placement, machine, &pairs);
+            assert_eq!(stats.delivered + stats.dropped, pairs.len() as u64);
+            assert!(stats.dropped >= 2, "both malformed pairs must be dropped");
+            let batched = run_logical_workload_batched(&db, &placement, machine, &pairs, 2);
+            assert_eq!(batched, stats);
+        }
     }
 
     #[test]

@@ -102,6 +102,63 @@ mod tests {
         assert_eq!(pairs.len(), 5);
     }
 
+    proptest::proptest! {
+        /// Bit reversal over `h` bits is an involution and therefore a
+        /// bijection: applying the map twice is the identity, and the
+        /// target multiset equals the node set.
+        #[test]
+        fn bit_reversal_is_an_involution_and_bijection(h in 1usize..12) {
+            let pairs = bit_reversal_pairs(h);
+            let n = 1usize << h;
+            proptest::prop_assert_eq!(pairs.len(), n);
+            for &(x, y) in &pairs {
+                proptest::prop_assert!(y < n);
+                proptest::prop_assert_eq!(pairs[x].0, x);
+                // Involution: reversing the reversal restores x.
+                proptest::prop_assert_eq!(pairs[y].1, x);
+            }
+            let mut targets: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+            targets.sort_unstable();
+            proptest::prop_assert_eq!(targets, (0..n).collect::<Vec<_>>());
+        }
+
+        /// Every permutation workload is a bijection on sources and targets.
+        #[test]
+        fn permutation_pairs_are_bijections(n in 1usize..200, seed in 0u64..50) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pairs = permutation_pairs(n, &mut rng);
+            proptest::prop_assert_eq!(pairs.len(), n);
+            let mut sources: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+            let mut targets: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+            sources.sort_unstable();
+            targets.sort_unstable();
+            proptest::prop_assert_eq!(sources, (0..n).collect::<Vec<_>>());
+            proptest::prop_assert_eq!(targets, (0..n).collect::<Vec<_>>());
+        }
+
+        /// The hot-spot workload sends exactly one packet per source, all
+        /// to the root.
+        #[test]
+        fn all_to_one_targets_the_root(n in 1usize..300, root in 0usize..300) {
+            let root = root % n;
+            let pairs = all_to_one(n, root);
+            proptest::prop_assert_eq!(pairs.len(), n);
+            for (i, &(s, t)) in pairs.iter().enumerate() {
+                proptest::prop_assert_eq!(s, i);
+                proptest::prop_assert_eq!(t, root);
+            }
+        }
+
+        /// Uniform pairs stay in range for any count and seed.
+        #[test]
+        fn uniform_pairs_stay_in_range(n in 1usize..500, count in 0usize..300, seed in 0u64..50) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pairs = uniform_pairs(n, count, &mut rng);
+            proptest::prop_assert_eq!(pairs.len(), count);
+            proptest::prop_assert!(pairs.iter().all(|&(s, t)| s < n && t < n));
+        }
+    }
+
     #[test]
     fn value_generators() {
         assert_eq!(index_values(4), vec![0, 1, 2, 3]);

@@ -191,6 +191,43 @@ fn exhaustive_verifier_hot_loop_is_allocation_light() {
 }
 
 #[test]
+fn congestion_cycle_loop_is_allocation_free_after_warmup() {
+    let _guard = serial_guard();
+    // The engine allocates while loading the workload; the cycle loop
+    // itself (including reset-and-rerun, which is what perf_report
+    // measures) must never touch the allocator.
+    use ftdb_sim::congestion::{CongestionConfig, CongestionSim};
+    let db = DeBruijn2::new(7);
+    let n = db.node_count();
+    let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+    let mut sim = CongestionSim::new(machine, CongestionConfig::default());
+    let placement = Embedding::identity(n);
+    let mut rng = ftdb_tests::seeded_rng(512);
+    let pairs = workload::uniform_pairs(n, 4 * n, &mut rng);
+    sim.load_oblivious(&db, &placement, &pairs);
+    // Warm-up run sizes any lazily-grown state.
+    let warm = loop {
+        let events = sim.step();
+        if events.is_idle() {
+            break sim.counts();
+        }
+    };
+    assert!(warm.1 > 0, "warm-up must deliver packets");
+    let mut delivered = 0;
+    assert_eventually_alloc_free("congestion cycle loop", || {
+        sim.reset();
+        loop {
+            let events = sim.step();
+            if events.is_idle() {
+                break;
+            }
+        }
+        delivered = sim.counts().1;
+    });
+    assert_eq!(delivered, warm.1);
+}
+
+#[test]
 fn fault_set_scratch_api_exists_for_callers() {
     let _guard = serial_guard();
     // healthy_iter is the non-allocating accessor the satellites asked for:
