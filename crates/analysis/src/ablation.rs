@@ -80,8 +80,13 @@ pub fn render_offset_ablation(rows: &[OffsetAblationRow]) -> TextTable {
     let mut table = TextTable::new(
         "ABL1: can any offset be dropped from B^k(2,h)? (general, search-based tolerance)",
         &[
-            "h", "k", "paper degree", "shaved candidates", "still tolerant",
-            "best shaved degree", "unresolved",
+            "h",
+            "k",
+            "paper degree",
+            "shaved candidates",
+            "still tolerant",
+            "best shaved degree",
+            "unresolved",
         ],
     );
     for r in rows {
@@ -116,7 +121,10 @@ pub struct ReconfigAblationRow {
 }
 
 /// Runs ABL2 for the given `(h, k)` pairs (small instances only).
-pub fn reconfig_ablation(params: &[(usize, usize)], per_fault_budget: u64) -> Vec<ReconfigAblationRow> {
+pub fn reconfig_ablation(
+    params: &[(usize, usize)],
+    per_fault_budget: u64,
+) -> Vec<ReconfigAblationRow> {
     params
         .iter()
         .map(|&(h, k)| {
@@ -138,7 +146,13 @@ pub fn reconfig_ablation(params: &[(usize, usize)], per_fault_budget: u64) -> Ve
 pub fn render_reconfig_ablation(rows: &[ReconfigAblationRow]) -> TextTable {
     let mut table = TextTable::new(
         "ABL2: rank-based reconfiguration vs general embedding search",
-        &["h", "k", "fault sets", "rank map tolerant", "search tolerant"],
+        &[
+            "h",
+            "k",
+            "fault sets",
+            "rank map tolerant",
+            "search tolerant",
+        ],
     );
     for r in rows {
         table.push_row(vec![

@@ -84,7 +84,11 @@ pub fn base2_table(hs: &[usize], ks: &[usize], measure_limit: usize) -> Vec<Comp
 }
 
 /// TAB2: the base-m comparison over `(m, h)` pairs and `k ∈ ks`.
-pub fn base_m_table(mhs: &[(usize, usize)], ks: &[usize], measure_limit: usize) -> Vec<ComparisonRow> {
+pub fn base_m_table(
+    mhs: &[(usize, usize)],
+    ks: &[usize],
+    measure_limit: usize,
+) -> Vec<ComparisonRow> {
     let mut rows = Vec::new();
     for &(m, h) in mhs {
         for &k in ks {
@@ -99,8 +103,17 @@ pub fn render_comparison(title: &str, rows: &[ComparisonRow]) -> TextTable {
     let mut table = TextTable::new(
         title,
         &[
-            "m", "h", "k", "N (target)", "deg(target)", "N+k (ours)", "deg<= (ours)",
-            "deg meas (ours)", "N (S-P)", "deg (S-P)", "node ratio S-P/ours",
+            "m",
+            "h",
+            "k",
+            "N (target)",
+            "deg(target)",
+            "N+k (ours)",
+            "deg<= (ours)",
+            "deg meas (ours)",
+            "N (S-P)",
+            "deg (S-P)",
+            "node ratio S-P/ours",
         ],
     );
     for r in rows {
@@ -143,7 +156,10 @@ pub struct ShuffleExchangeRow {
 
 /// Builds TAB3 for the given `(h, k)` pairs. The de Bruijn route needs the
 /// SE ⊆ DB embedding, which is only computed for `h ≤ embed_limit`.
-pub fn shuffle_exchange_table(hks: &[(usize, usize)], embed_limit: usize) -> Vec<ShuffleExchangeRow> {
+pub fn shuffle_exchange_table(
+    hks: &[(usize, usize)],
+    embed_limit: usize,
+) -> Vec<ShuffleExchangeRow> {
     hks.iter()
         .map(|&(h, k)| {
             let natural = NaturalFtShuffleExchange::new(h, k);
@@ -172,8 +188,13 @@ pub fn render_shuffle_exchange(rows: &[ShuffleExchangeRow]) -> TextTable {
     let mut table = TextTable::new(
         "TAB3: fault-tolerant shuffle-exchange degrees (via de Bruijn vs natural labeling)",
         &[
-            "h", "k", "nodes", "deg<= via DB (4k+4)", "deg meas via DB",
-            "paper natural (6k+4)", "deg meas natural",
+            "h",
+            "k",
+            "nodes",
+            "deg<= via DB (4k+4)",
+            "deg meas via DB",
+            "paper natural (6k+4)",
+            "deg meas natural",
         ],
     );
     for r in rows {

@@ -121,7 +121,16 @@ pub fn sweep_bus(hs: &[usize], ks: &[usize]) -> Vec<CorollaryRow> {
 pub fn render_corollaries(title: &str, rows: &[CorollaryRow]) -> TextTable {
     let mut table = TextTable::new(
         title,
-        &["corollary", "m", "h", "k", "nodes", "degree bound", "degree measured", "holds"],
+        &[
+            "corollary",
+            "m",
+            "h",
+            "k",
+            "nodes",
+            "degree bound",
+            "degree measured",
+            "holds",
+        ],
     );
     for r in rows {
         table.push_row(vec![
@@ -178,7 +187,10 @@ pub fn tolerance_sweep(
             let (report, exhaustive): (ToleranceReport, bool) = if combos <= exhaustive_limit {
                 (verify_exhaustive(&target, &host, k, threads), true)
             } else {
-                (verify_sampled(&target, &host, k, sample_count, 0xF7DB), false)
+                (
+                    verify_sampled(&target, &host, k, sample_count, 0xF7DB),
+                    false,
+                )
             };
             ToleranceRow {
                 m,
@@ -204,7 +216,12 @@ pub fn render_tolerance(rows: &[ToleranceRow]) -> TextTable {
             r.h.to_string(),
             r.k.to_string(),
             r.checked.to_string(),
-            if r.exhaustive { "exhaustive" } else { "sampled" }.to_string(),
+            if r.exhaustive {
+                "exhaustive"
+            } else {
+                "sampled"
+            }
+            .to_string(),
             if r.tolerant { "yes" } else { "NO" }.to_string(),
         ]);
     }

@@ -18,7 +18,10 @@ use ftdb_core::{FaultSet, FtDeBruijn2, FtShuffleExchange};
 use ftdb_graph::Embedding;
 use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
 use ftdb_sim::bus_model::bus_timing_table;
-use ftdb_sim::congestion::{run_recovery, CongestionConfig, CongestionSim, FaultResponse};
+use ftdb_sim::congestion::{
+    run_open_loop, run_recovery, CongestionConfig, CongestionSim, FaultResponse, FlowControl,
+    OpenLoopReport,
+};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::metrics::SlowdownRow;
 use ftdb_sim::routing::run_logical_workload;
@@ -59,7 +62,10 @@ pub fn sim1_ascend_slowdown(h: usize, k: usize, fault_node: usize) -> Vec<Slowdo
     faulty.inject_fault(fault_node % n);
     let stalled = allreduce_shuffle_exchange(&se, &identity, &faulty, &values);
     rows.push(SlowdownRow {
-        scenario: format!("shuffle-exchange, 1 fault (node {}), no spares", fault_node % n),
+        scenario: format!(
+            "shuffle-exchange, 1 fault (node {}), no spares",
+            fault_node % n
+        ),
         steps: stalled.ok().map(|o| o.steps),
         reference_steps: reference.steps.max(1),
     });
@@ -71,8 +77,7 @@ pub fn sim1_ascend_slowdown(h: usize, k: usize, fault_node: usize) -> Vec<Slowdo
     let placement = ft
         .reconfigure_verified(&faults)
         .expect("reconfiguration must succeed for <= k faults");
-    let machine =
-        PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
+    let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
     let out = allreduce_shuffle_exchange(&se, &placement, &machine, &values)
         .expect("reconfigured fault-tolerant machine must complete");
     assert!(out.values.iter().all(|&v| v == expected_total));
@@ -106,8 +111,12 @@ pub fn sim2_bus_table() -> TextTable {
     let mut table = TextTable::new(
         "SIM2: bus implementation timing (slots per superstep)",
         &[
-            "distinct values/node", "p2p multi-port", "p2p single-port", "bus",
-            "bus vs multi-port", "bus vs single-port",
+            "distinct values/node",
+            "p2p multi-port",
+            "p2p single-port",
+            "bus",
+            "bus vs multi-port",
+            "bus vs single-port",
         ],
     );
     for r in rows {
@@ -134,8 +143,17 @@ pub fn sim1_routing_table(h: usize, k: usize, seed: u64) -> TextTable {
     let pairs = workload::permutation_pairs(n, &mut rng);
 
     let mut table = TextTable::new(
-        format!("SIM1b: oblivious de Bruijn routing of a random permutation (2^{h} nodes, k = {k})"),
-        &["scenario", "delivered", "dropped", "delivery ratio", "mean hops", "max hops"],
+        format!(
+            "SIM1b: oblivious de Bruijn routing of a random permutation (2^{h} nodes, k = {k})"
+        ),
+        &[
+            "scenario",
+            "delivered",
+            "dropped",
+            "delivery ratio",
+            "mean hops",
+            "max hops",
+        ],
     );
     let mut push = |label: &str, stats: ftdb_sim::metrics::RoutingStats| {
         table.push_row(vec![
@@ -167,7 +185,9 @@ pub fn sim1_routing_table(h: usize, k: usize, seed: u64) -> TextTable {
     let ft = ftdb_core::FtDeBruijn2::new(h, k);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
     let faults = FaultSet::random(ft.node_count(), k, &mut rng);
-    let placement = ft.reconfigure_verified(&faults).expect("reconfiguration succeeds");
+    let placement = ft
+        .reconfigure_verified(&faults)
+        .expect("reconfiguration succeeds");
     let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
     push(
         "B^k(2,h), k faults, reconfigured",
@@ -194,14 +214,22 @@ pub fn sim3_congestion_table(h: usize, seed: u64) -> TextTable {
     let mut table = TextTable::new(
         format!("SIM3: cycle-level congestion on B(2,{h}) ({n} nodes)"),
         &[
-            "workload", "ports", "packets", "cycles", "cycles/packet",
-            "mean latency", "p95 latency", "flits/cycle", "max link flits",
+            "workload",
+            "ports",
+            "packets",
+            "cycles",
+            "cycles/packet",
+            "mean latency",
+            "p95 latency",
+            "flits/cycle",
+            "max link flits",
         ],
     );
     for (label, pairs) in &workloads {
-        for (port, port_label) in
-            [(PortModel::MultiPort, "multi"), (PortModel::SinglePort, "single")]
-        {
+        for (port, port_label) in [
+            (PortModel::MultiPort, "multi"),
+            (PortModel::SinglePort, "single"),
+        ] {
             let machine = PhysicalMachine::new(db.graph().clone(), port);
             let mut sim = CongestionSim::new(machine, CongestionConfig::default());
             sim.load_oblivious(&db, &placement, pairs);
@@ -234,8 +262,13 @@ pub fn sim4_recovery_table(h: usize, k: usize, fault_cycle: u32, seed: u64) -> T
     let mut table = TextTable::new(
         format!("SIM4: mid-run faults + online reconfiguration on B^{k}(2,{h})"),
         &[
-            "faults", "fault cycle", "total cycles", "drain cycles",
-            "delivered", "lost on dead nodes", "rerouted",
+            "faults",
+            "fault cycle",
+            "total cycles",
+            "drain cycles",
+            "delivered",
+            "lost on dead nodes",
+            "rerouted",
         ],
     );
     for faults in 1..=k {
@@ -265,6 +298,171 @@ pub fn sim4_recovery_table(h: usize, k: usize, fault_cycle: u32, seed: u64) -> T
         ]);
     }
     table
+}
+
+/// One scenario of the SIM5 offered-load sweep: a machine (healthy or
+/// faulted `B^k(2,h)`), a port model and a flow-control setting, measured at
+/// each offered load in turn.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepScenario {
+    /// De Bruijn order of the logical target `B(2,h)`.
+    pub h: usize,
+    /// Spare budget of the fault-tolerant host `B^k(2,h)`.
+    pub k: usize,
+    /// Processors to kill (≤ `k`); the placement is reconfigured around
+    /// them before traffic starts, so the sweep measures congestion on the
+    /// *recovered* machine, not feasibility.
+    pub fault_count: usize,
+    /// Output-port discipline.
+    pub port: PortModel,
+    /// Buffer sizing.
+    pub flow: FlowControl,
+}
+
+/// Runs one latency–throughput curve: an open-loop Bernoulli run per
+/// offered load. Deterministic for a fixed `(scenario, loads, seed)`.
+pub fn sim5_load_sweep(scenario: &SweepScenario, loads: &[f64], seed: u64) -> Vec<OpenLoopReport> {
+    let ft = FtDeBruijn2::new(scenario.h, scenario.k.max(1));
+    // Kill processors that are actually *in use* by the zero-fault
+    // placement (a random pick could land on an idle spare, making the
+    // "faulted" sweep identical to the healthy one).
+    let initial = ft.reconfigure(&FaultSet::empty(ft.node_count()));
+    let logical_n = ft.target().node_count();
+    let mut faults = FaultSet::empty(ft.node_count());
+    for i in 0..scenario.fault_count {
+        faults.add(initial.apply((i * 37 + 1) % logical_n));
+    }
+    let placement = ft
+        .reconfigure_verified(&faults)
+        .expect("fault count within the construction's budget");
+    let config = CongestionConfig {
+        flow_control: scenario.flow,
+        ..CongestionConfig::default()
+    };
+    loads
+        .iter()
+        .map(|&offered_load| {
+            let machine =
+                PhysicalMachine::with_faults(ft.graph().clone(), faults.clone(), scenario.port);
+            let spec = ftdb_sim::workload::OpenLoopSpec {
+                offered_load,
+                process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+                warmup_cycles: 150,
+                measure_cycles: 300,
+                drain_cycles: 450,
+                seed,
+            };
+            run_open_loop(ft.target(), &placement, machine, config, &spec)
+        })
+        .collect()
+}
+
+/// Renders one SIM5 curve as a [`TextTable`].
+pub fn render_sim5(title: String, points: &[OpenLoopReport]) -> TextTable {
+    let mut table = TextTable::new(
+        title,
+        &[
+            "offered",
+            "realized",
+            "throughput",
+            "accepted",
+            "mean latency",
+            "p95 latency",
+            "deadlock",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            fmt_f64(p.offered_load),
+            fmt_f64(p.offered_realized),
+            format!("{:.4}", p.throughput),
+            fmt_f64(p.accepted),
+            fmt_f64(p.latency.mean),
+            p.latency.p95.to_string(),
+            if p.deadlocked {
+                "yes".to_string()
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table
+}
+
+/// The canonical SIM5 scenario grid for the `experiments -- sim-loadsweep`
+/// driver: healthy vs. faulted `B^1(2,h)`, MultiPort vs. SinglePort, and
+/// buffer depths {∞, 4, 2, 1} on the faulted machine.
+pub fn sim5_tables(h: usize, loads: &[f64], seed: u64) -> Vec<TextTable> {
+    let mut tables = Vec::new();
+    let scenarios: Vec<(String, SweepScenario)> = vec![
+        (
+            format!("SIM5a: healthy B^1(2,{h}), multi-port, infinite buffers"),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 0,
+                port: PortModel::MultiPort,
+                flow: FlowControl::Infinite,
+            },
+        ),
+        (
+            format!(
+                "SIM5b: faulted B^1(2,{h}) (1 fault, reconfigured), multi-port, infinite buffers"
+            ),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 1,
+                port: PortModel::MultiPort,
+                flow: FlowControl::Infinite,
+            },
+        ),
+        (
+            format!("SIM5c: faulted B^1(2,{h}), multi-port, credit flow control, depth 4"),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 1,
+                port: PortModel::MultiPort,
+                flow: FlowControl::CreditBased { buffer_depth: 4 },
+            },
+        ),
+        (
+            format!("SIM5d: faulted B^1(2,{h}), multi-port, credit flow control, depth 2"),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 1,
+                port: PortModel::MultiPort,
+                flow: FlowControl::CreditBased { buffer_depth: 2 },
+            },
+        ),
+        (
+            format!("SIM5e: faulted B^1(2,{h}), multi-port, credit flow control, depth 1"),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 1,
+                port: PortModel::MultiPort,
+                flow: FlowControl::CreditBased { buffer_depth: 1 },
+            },
+        ),
+        (
+            format!("SIM5f: faulted B^1(2,{h}), single-port, credit flow control, depth 2"),
+            SweepScenario {
+                h,
+                k: 1,
+                fault_count: 1,
+                port: PortModel::SinglePort,
+                flow: FlowControl::CreditBased { buffer_depth: 2 },
+            },
+        ),
+    ];
+    for (title, scenario) in scenarios {
+        let points = sim5_load_sweep(&scenario, loads, seed);
+        tables.push(render_sim5(title, &points));
+    }
+    tables
 }
 
 #[cfg(test)]
@@ -325,6 +523,41 @@ mod tests {
     }
 
     #[test]
+    fn sim5_sweep_points_are_deterministic_and_conserving() {
+        let scenario = SweepScenario {
+            h: 5,
+            k: 1,
+            fault_count: 1,
+            port: PortModel::MultiPort,
+            flow: FlowControl::CreditBased { buffer_depth: 2 },
+        };
+        let loads = [0.1, 0.6];
+        let a = sim5_load_sweep(&scenario, &loads, 3);
+        let b = sim5_load_sweep(&scenario, &loads, 3);
+        assert_eq!(a, b, "same scenario + seed must reproduce exactly");
+        for point in &a {
+            assert!(point.cum_delivered_by_window_end <= point.cum_injected_by_window_end);
+            assert!(point.window_delivered <= point.window_injected);
+        }
+        // Low load on the reconfigured machine flows freely.
+        assert!(a[0].accepted > 0.9, "low load should deliver: {:?}", a[0]);
+    }
+
+    #[test]
+    fn sim5_tables_cover_the_scenario_grid() {
+        let tables = sim5_tables(5, &[0.1, 0.4], 7);
+        assert_eq!(tables.len(), 6);
+        let all: Vec<String> = tables.iter().map(|t| t.render()).collect();
+        assert!(all[0].contains("healthy"));
+        assert!(all.iter().skip(1).all(|t| t.contains("faulted")));
+        assert!(all[5].contains("single-port"));
+        for text in &all {
+            assert!(text.contains("throughput"));
+            assert!(text.contains("0.10"), "offered column rendered: {text}");
+        }
+    }
+
+    #[test]
     fn sim1_routing_table_shows_recovery() {
         let table = sim1_routing_table(4, 2, 99);
         assert_eq!(table.row_count(), 3);
@@ -337,6 +570,9 @@ mod tests {
             .lines()
             .find(|l| l.contains("no spares"))
             .expect("faulted scenario row present");
-        assert!(!faulted_line.contains("1.00"), "faulted run should drop packets: {faulted_line}");
+        assert!(
+            !faulted_line.contains("1.00"),
+            "faulted run should drop packets: {faulted_line}"
+        );
     }
 }

@@ -28,17 +28,13 @@ fn bench_oblivious_routing(c: &mut Criterion) {
         let placement = Embedding::identity(n);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let pairs = workload::permutation_pairs(n, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("healthy_permutation", h),
-            &h,
-            |b, _| {
-                b.iter(|| {
-                    let stats = run_logical_workload(&db, &placement, &machine, &pairs);
-                    assert_eq!(stats.dropped, 0);
-                    black_box(stats.total_hops)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("healthy_permutation", h), &h, |b, _| {
+            b.iter(|| {
+                let stats = run_logical_workload(&db, &placement, &machine, &pairs);
+                assert_eq!(stats.dropped, 0);
+                black_box(stats.total_hops)
+            })
+        });
         let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         group.bench_with_input(
             BenchmarkId::new("healthy_permutation_batched", h),

@@ -7,24 +7,25 @@
 //! ```
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
-//! table3 corollaries tolerance sim sim-bus sim-congestion ablation all`
+//! table3 corollaries tolerance sim sim-bus sim-congestion sim-loadsweep ablation
+//! all`
 //! (default: `all`). Output is
 //! plain text on stdout; it is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
 
-use ftdb_analysis::comparison::{
-    base2_table, base_m_table, render_comparison, render_shuffle_exchange, shuffle_exchange_table,
-};
 use ftdb_analysis::ablation::{
     offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
+};
+use ftdb_analysis::comparison::{
+    base2_table, base_m_table, render_comparison, render_shuffle_exchange, shuffle_exchange_table,
 };
 use ftdb_analysis::corollaries::{
     render_corollaries, render_tolerance, sweep_base2, sweep_base_m, sweep_bus, tolerance_sweep,
 };
 use ftdb_analysis::figures;
 use ftdb_analysis::sim_experiments::{
-    render_sim1, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
-    sim3_congestion_table, sim4_recovery_table,
+    render_sim1, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table, sim3_congestion_table,
+    sim4_recovery_table, sim5_tables,
 };
 
 fn print_figure(fig: &figures::Figure) {
@@ -52,19 +53,30 @@ fn run(name: &str) -> bool {
             let rows = base2_table(&[3, 4, 5, 6, 8, 10], &[1, 2, 3, 4, 8], 1 << 14);
             println!(
                 "{}",
-                render_comparison("TAB1: base-2 de Bruijn, ours vs Samatham-Pradhan", &rows).render()
+                render_comparison("TAB1: base-2 de Bruijn, ours vs Samatham-Pradhan", &rows)
+                    .render()
             );
         }
         "table2" => {
             let rows = base_m_table(&[(3, 3), (4, 3), (8, 2), (16, 2)], &[1, 2, 4], 1 << 14);
             println!(
                 "{}",
-                render_comparison("TAB2: base-m de Bruijn, ours vs Samatham-Pradhan", &rows).render()
+                render_comparison("TAB2: base-m de Bruijn, ours vs Samatham-Pradhan", &rows)
+                    .render()
             );
         }
         "table3" => {
             let rows = shuffle_exchange_table(
-                &[(3, 1), (4, 1), (4, 2), (5, 1), (5, 2), (5, 3), (6, 1), (7, 2)],
+                &[
+                    (3, 1),
+                    (4, 1),
+                    (4, 2),
+                    (5, 1),
+                    (5, 2),
+                    (5, 3),
+                    (6, 1),
+                    (7, 2),
+                ],
                 6,
             );
             println!("{}", render_shuffle_exchange(&rows).render());
@@ -75,10 +87,14 @@ fn run(name: &str) -> bool {
                 "{}",
                 render_corollaries("COR1-2: base-2 degree bounds (4k+4; k=1: 8)", &c12).render()
             );
-            let c34 = sweep_base_m(&[(3, 3), (3, 4), (4, 3), (5, 2), (6, 2), (8, 2)], &[1, 2, 3]);
+            let c34 = sweep_base_m(
+                &[(3, 3), (3, 4), (4, 3), (5, 2), (6, 2), (8, 2)],
+                &[1, 2, 3],
+            );
             println!(
                 "{}",
-                render_corollaries("COR3-4: base-m degree bounds (4(m-1)k+2m; k=1: 6m-4)", &c34).render()
+                render_corollaries("COR3-4: base-m degree bounds (4(m-1)k+2m; k=1: 6m-4)", &c34)
+                    .render()
             );
             let bus = sweep_bus(&[3, 4, 5, 6], &[0, 1, 2, 3]);
             println!(
@@ -124,6 +140,12 @@ fn run(name: &str) -> bool {
             }
             println!("{}", sim4_recovery_table(6, 3, 2, 0xF7DB).render());
         }
+        "sim-loadsweep" => {
+            let loads = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+            for table in sim5_tables(7, &loads, 0xF7DB) {
+                println!("{}", table.render());
+            }
+        }
         "ablation" => {
             let abl1 = offset_ablation(&[(3, 1), (3, 2), (4, 1), (4, 2)], 50_000_000);
             println!("{}", render_offset_ablation(&abl1).render());
@@ -132,8 +154,21 @@ fn run(name: &str) -> bool {
         }
         "all" => {
             for e in [
-                "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
-                "corollaries", "tolerance", "sim", "sim-bus", "sim-congestion", "ablation",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "table1",
+                "table2",
+                "table3",
+                "corollaries",
+                "tolerance",
+                "sim",
+                "sim-bus",
+                "sim-congestion",
+                "sim-loadsweep",
+                "ablation",
             ] {
                 run(e);
             }
@@ -158,7 +193,7 @@ fn main() {
     }
     if !ok {
         eprintln!(
-            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|ablation|all]..."
+            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|ablation|all]..."
         );
         std::process::exit(2);
     }

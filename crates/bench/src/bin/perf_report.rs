@@ -13,12 +13,18 @@
 //! `--quick` shrinks the measurement windows so the harness finishes in a
 //! couple of seconds (used by CI); the default mode takes tens of seconds
 //! and produces more stable numbers.
+//!
+//! `--compare <baseline.json> [--threshold <ratio>]` additionally loads a
+//! previously committed report and exits non-zero when any suite present in
+//! both regressed by more than the threshold (default 1.3 = +30% on
+//! `ns_per_item`), printing GitHub `::warning::` annotations for each
+//! regression — the perf-regression CI gate.
 
 use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;
 use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
-use ftdb_sim::congestion::{CongestionConfig, CongestionSim};
+use ftdb_sim::congestion::{measure_open_loop, CongestionConfig, CongestionSim, FlowControl};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::{
     route_logical_debruijn_into, run_adaptive_workload, run_logical_workload,
@@ -87,7 +93,8 @@ fn suite_entry(name: &str, m: &Measurement, items: u64, item_label: &str) -> (St
     )
 }
 
-const USAGE: &str = "usage: perf_report [--quick] [--out PATH]";
+const USAGE: &str =
+    "usage: perf_report [--quick] [--out PATH] [--compare BASELINE [--threshold RATIO]]";
 
 /// Prints the offending argument and the usage line, then exits nonzero.
 /// Unknown flags and a dangling `--out` are hard errors: a typo must not
@@ -102,6 +109,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path = "BENCH_perf.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 1.3f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -109,6 +118,14 @@ fn main() {
             "--out" => match it.next() {
                 Some(path) => out_path = path.clone(),
                 None => usage_error("--out requires a PATH value"),
+            },
+            "--compare" => match it.next() {
+                Some(path) => baseline_path = Some(path.clone()),
+                None => usage_error("--compare requires a BASELINE path"),
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t.is_finite() && t > 0.0 => threshold = t,
+                _ => usage_error("--threshold requires a positive ratio (e.g. 1.3)"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -127,7 +144,11 @@ fn main() {
     let mut suites: Vec<(String, Value)> = Vec::new();
 
     // ---- Oblivious routing: healthy permutation workload ---------------
-    for &h in if quick { &[6usize, 10] as &[usize] } else { &[6, 8, 10] } {
+    for &h in if quick {
+        &[6usize, 10] as &[usize]
+    } else {
+        &[6, 8, 10]
+    } {
         let db = DeBruijn2::new(h);
         let n = db.node_count();
         let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
@@ -149,7 +170,8 @@ fn main() {
             // The batched engine (threads = available parallelism) and the
             // path-materialising kernel, for the same permutation.
             let m = measure(repeats, || {
-                let stats = run_logical_workload_batched(&db, &placement, &machine, &pairs, threads);
+                let stats =
+                    run_logical_workload_batched(&db, &placement, &machine, &pairs, threads);
                 assert_eq!(stats.dropped, 0);
                 black_box(stats.total_hops);
             });
@@ -178,7 +200,11 @@ fn main() {
     }
 
     // ---- Adaptive (BFS) routing under faults ---------------------------
-    for &h in if quick { &[8usize] as &[usize] } else { &[8, 10] } {
+    for &h in if quick {
+        &[8usize] as &[usize]
+    } else {
+        &[8, 10]
+    } {
         let db = DeBruijn2::new(h);
         let n = db.node_count();
         let mut machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
@@ -204,8 +230,11 @@ fn main() {
     for &(h, port, label) in if quick {
         &[(8usize, PortModel::MultiPort, "multi")] as &[(usize, PortModel, &str)]
     } else {
-        &[(8, PortModel::MultiPort, "multi"), (10, PortModel::MultiPort, "multi"),
-          (10, PortModel::SinglePort, "single")]
+        &[
+            (8, PortModel::MultiPort, "multi"),
+            (10, PortModel::MultiPort, "multi"),
+            (10, PortModel::SinglePort, "single"),
+        ]
     } {
         let db = DeBruijn2::new(h);
         let n = db.node_count();
@@ -244,6 +273,106 @@ fn main() {
         ));
     }
 
+    // ---- Bounded buffers: credit flow control --------------------------
+    // The same drained-permutation measurement as above, but through the
+    // credit-gated movement path (depth 4 drains these workloads; depth 1
+    // would deadlock — that behaviour has its own tests, not a bench).
+    for &(h, depth) in if quick {
+        &[(8usize, 4u32)] as &[(usize, u32)]
+    } else {
+        &[(8, 4), (10, 4)]
+    } {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                flow_control: FlowControl::CreditBased {
+                    buffer_depth: depth,
+                },
+                ..CongestionConfig::default()
+            },
+        );
+        sim.load_oblivious(&db, &placement, &pairs);
+        let mut last = sim.run();
+        assert!(
+            last.completed && !last.deadlocked,
+            "bench workload must drain"
+        );
+        let m = measure(repeats, || {
+            sim.reset();
+            last = sim.run();
+            black_box(last.cycles);
+        });
+        suites.push(suite_entry(
+            &format!("congestion_credit_d{depth}_h{h}"),
+            &m,
+            pairs.len() as u64,
+            "packet",
+        ));
+    }
+
+    // ---- Open-loop injection (offered-load machinery) ------------------
+    // One full warm-up + measure + drain run at a pre-collapse load; the
+    // measured loop covers injection scheduling, credit accounting and the
+    // window statistics — the cost of one sweep point.
+    for &h in if quick {
+        &[7usize] as &[usize]
+    } else {
+        &[7, 8]
+    } {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let spec = ftdb_sim::workload::OpenLoopSpec {
+            offered_load: 0.15,
+            process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+            warmup_cycles: 100,
+            measure_cycles: 200,
+            drain_cycles: 300,
+            seed: 5,
+        };
+        let injections = ftdb_sim::workload::open_loop_injections(n, &spec);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                flow_control: FlowControl::CreditBased { buffer_depth: 4 },
+                ..CongestionConfig::default()
+            },
+        );
+        sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+        let mut last = measure_open_loop(&mut sim, &spec);
+        assert!(!last.deadlocked, "pre-collapse load must flow");
+        let m = measure(repeats, || {
+            sim.reset();
+            last = measure_open_loop(&mut sim, &spec);
+            black_box(last.window_delivered);
+        });
+        let name = format!("openloop_credit_d4_h{h}");
+        let (ns, rate) = per_item(&m, injections.len() as u64);
+        println!(
+            "{name:<40} {ns:>12.1} ns/packet  {rate:>14.0} packet/s  (throughput {:.3}, mean latency {:.1})",
+            last.throughput, last.latency.mean,
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "packet",
+                "items_per_run": injections.len() as u64,
+                "repeats": m.repeats,
+                "throughput": last.throughput,
+                "accepted": last.accepted,
+                "mean_latency": last.latency.mean,
+            }),
+        ));
+    }
+
     // ---- Reconfiguration -----------------------------------------------
     for &(h, k) in if quick {
         &[(10usize, 4usize)] as &[(usize, usize)]
@@ -268,7 +397,11 @@ fn main() {
     }
 
     // ---- Exhaustive (k, G)-tolerance verification ----------------------
-    let verify_params: &[(usize, usize)] = if quick { &[(5, 2), (6, 2)] } else { &[(5, 2), (6, 2), (7, 2)] };
+    let verify_params: &[(usize, usize)] = if quick {
+        &[(5, 2), (6, 2)]
+    } else {
+        &[(5, 2), (6, 2), (7, 2)]
+    };
     for &(h, k) in verify_params {
         let ft = FtDeBruijn2::new(h, k);
         let sets = Combinations::total(ft.node_count(), k) as u64;
@@ -293,4 +426,47 @@ fn main() {
     });
     std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_perf.json");
     println!("wrote {out_path}");
+
+    // ---- Perf-regression gate ------------------------------------------
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read baseline {path}: {e}")));
+        let baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| usage_error(&format!("baseline {path} is not valid JSON: {e}")));
+        let cmp = ftdb_bench::compare::compare_reports(&baseline, &report, threshold)
+            .unwrap_or_else(|e| usage_error(&e));
+        println!(
+            "\ncompare vs {path} (threshold {threshold:.2}x, {} suites in both):",
+            cmp.deltas.len()
+        );
+        for d in &cmp.deltas {
+            println!(
+                "  {:<40} {:>10.1} -> {:>10.1} ns/item  ({:.2}x)",
+                d.suite, d.baseline_ns, d.current_ns, d.ratio
+            );
+        }
+        for name in &cmp.missing_in_baseline {
+            println!("  {name:<40} new suite (not in baseline)");
+        }
+        for name in &cmp.missing_in_current {
+            println!("  {name:<40} retired suite (baseline only)");
+        }
+        if cmp.regressions.is_empty() {
+            println!("perf gate: OK, no suite regressed beyond {threshold:.2}x");
+        } else {
+            for d in &cmp.regressions {
+                // GitHub Actions annotation: visible on the workflow run.
+                println!(
+                    "::warning title=perf regression::{} regressed {:.2}x \
+                     ({:.1} -> {:.1} ns/item, threshold {:.2}x)",
+                    d.suite, d.ratio, d.baseline_ns, d.current_ns, threshold
+                );
+            }
+            eprintln!(
+                "perf gate: {} suite(s) regressed beyond {threshold:.2}x",
+                cmp.regressions.len()
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -136,7 +136,10 @@ impl BusArchitecture {
     /// The maximum bus-degree over all nodes. Section V shows it is at most
     /// `2k + 3`.
     pub fn max_bus_degree(&self) -> usize {
-        (0..self.node_count).map(|v| self.bus_degree(v)).max().unwrap_or(0)
+        (0..self.node_count)
+            .map(|v| self.bus_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The degree bound `2k + 3` stated in Section V.
@@ -148,10 +151,8 @@ impl BusArchitecture {
     /// used in the restricted owner-to-member pattern. This equals the edge
     /// set of `B^k_{2,h}` — the bus implementation loses no connectivity.
     pub fn implied_graph(&self) -> Graph {
-        let mut b = GraphBuilder::new(self.node_count).name(format!(
-            "bus-implied B^{}(2,{})",
-            self.k, self.h
-        ));
+        let mut b = GraphBuilder::new(self.node_count)
+            .name(format!("bus-implied B^{}(2,{})", self.k, self.h));
         for bus in &self.buses {
             for &m in &bus.members {
                 if m != bus.owner {

@@ -46,7 +46,10 @@ impl FaultSet {
 
     /// Draws a uniformly random fault set of exactly `count` distinct nodes.
     pub fn random<R: rand::Rng>(universe: usize, count: usize, rng: &mut R) -> Self {
-        assert!(count <= universe, "cannot fault {count} of {universe} nodes");
+        assert!(
+            count <= universe,
+            "cannot fault {count} of {universe} nodes"
+        );
         let mut all: Vec<NodeId> = (0..universe).collect();
         all.shuffle(rng);
         FaultSet::from_nodes(universe, all.into_iter().take(count))
@@ -357,9 +360,15 @@ mod tests {
 
     #[test]
     fn combinations_edge_cases() {
-        assert_eq!(Combinations::new(4, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(
+            Combinations::new(4, 0).collect::<Vec<_>>(),
+            vec![Vec::<usize>::new()]
+        );
         assert_eq!(Combinations::new(3, 4).count(), 0);
-        assert_eq!(Combinations::new(3, 3).collect::<Vec<_>>(), vec![vec![0, 1, 2]]);
+        assert_eq!(
+            Combinations::new(3, 3).collect::<Vec<_>>(),
+            vec![vec![0, 1, 2]]
+        );
         assert_eq!(Combinations::total(5, 2), 10);
         assert_eq!(Combinations::total(17, 3), 680);
         assert_eq!(Combinations::total(3, 5), 0);
@@ -395,19 +404,30 @@ mod tests {
                 let mut prev: Option<Vec<usize>> = None;
                 while let Some(combo) = rd.next_set() {
                     // Sorted ascending, all in range.
-                    assert!(combo.windows(2).all(|w| w[0] < w[1]), "n={n} k={k} {combo:?}");
+                    assert!(
+                        combo.windows(2).all(|w| w[0] < w[1]),
+                        "n={n} k={k} {combo:?}"
+                    );
                     assert!(combo.iter().all(|&v| v < n));
                     // Revolving door: consecutive sets differ in one element.
                     if let Some(p) = &prev {
                         let inter = combo.iter().filter(|v| p.contains(v)).count();
-                        assert_eq!(inter + 1, k, "not a revolving-door step: {p:?} -> {combo:?}");
+                        assert_eq!(
+                            inter + 1,
+                            k,
+                            "not a revolving-door step: {p:?} -> {combo:?}"
+                        );
                     }
                     prev = Some(combo.to_vec());
                     seen.insert(combo.to_vec());
                     count += 1;
                 }
                 assert_eq!(count, Combinations::total(n, k), "n={n} k={k}");
-                assert_eq!(seen.len() as u128, count, "duplicate subset for n={n} k={k}");
+                assert_eq!(
+                    seen.len() as u128,
+                    count,
+                    "duplicate subset for n={n} k={k}"
+                );
             }
         }
     }

@@ -42,7 +42,10 @@ impl std::fmt::Display for FtShuffleError {
         match self {
             FtShuffleError::NoEmbedding => write!(f, "SE_h is not a subgraph of B_2,h for this h"),
             FtShuffleError::EmbeddingSearchBudgetExhausted => {
-                write!(f, "embedding search budget exhausted; use the natural-labeling construction")
+                write!(
+                    f,
+                    "embedding search budget exhausted; use the natural-labeling construction"
+                )
             }
         }
     }

@@ -29,7 +29,10 @@ pub fn displacement(a: usize, t: &[usize]) -> i64 {
 /// Panics if `a ≥ b` or if either value is not a member of `T`.
 pub fn lemma1_holds(a: usize, b: usize, t: &[usize]) -> bool {
     assert!(a < b, "Lemma 1 requires a < b");
-    assert!(t.contains(&a) && t.contains(&b), "a and b must be members of T");
+    assert!(
+        t.contains(&a) && t.contains(&b),
+        "a and b must be members of T"
+    );
     displacement(a, t) <= displacement(b, t)
 }
 
@@ -82,7 +85,11 @@ pub fn lemma3_case(x: usize, r: usize, m: usize, h: usize) -> Option<WrapCase> {
     } else {
         (1..=m - 1).contains(&t)
     };
-    valid.then_some(if t == 0 { WrapCase::NoWrap } else { WrapCase::Wrap { t } })
+    valid.then_some(if t == 0 {
+        WrapCase::NoWrap
+    } else {
+        WrapCase::Wrap { t }
+    })
 }
 
 #[cfg(test)]

@@ -147,10 +147,9 @@ impl<'a> VerifyKernel<'a> {
             return false;
         }
         match self.matrix {
-            Some(m) => self
-                .target_edges
-                .iter()
-                .all(|&(a, b)| m.has_edge(self.phi[a as usize] as usize, self.phi[b as usize] as usize)),
+            Some(m) => self.target_edges.iter().all(|&(a, b)| {
+                m.has_edge(self.phi[a as usize] as usize, self.phi[b as usize] as usize)
+            }),
             None => self.target_edges.iter().all(|&(a, b)| {
                 self.host
                     .has_edge(self.phi[a as usize] as usize, self.phi[b as usize] as usize)
@@ -166,13 +165,15 @@ impl<'a> VerifyKernel<'a> {
 /// single-thread runs; the recorded failures are identical either way — the
 /// first [`ToleranceReport::MAX_RECORDED`] failing sets in enumeration
 /// order, sorted).
-pub fn verify_exhaustive(target: &Graph, host: &Graph, k: usize, threads: usize) -> ToleranceReport {
+pub fn verify_exhaustive(
+    target: &Graph,
+    host: &Graph,
+    k: usize,
+    threads: usize,
+) -> ToleranceReport {
     let n = host.node_count();
     let threads = threads.max(1);
-    let target_edges: Vec<(u32, u32)> = target
-        .edges()
-        .map(|(a, b)| (a as u32, b as u32))
-        .collect();
+    let target_edges: Vec<(u32, u32)> = target.edges().map(|(a, b)| (a as u32, b as u32)).collect();
     let matrix = (n <= ADJACENCY_MATRIX_LIMIT).then(|| AdjacencyMatrix::build(host));
     let matrix = matrix.as_ref();
 
@@ -256,10 +257,7 @@ pub fn verify_sampled(
 ) -> ToleranceReport {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = host.node_count();
-    let target_edges: Vec<(u32, u32)> = target
-        .edges()
-        .map(|(a, b)| (a as u32, b as u32))
-        .collect();
+    let target_edges: Vec<(u32, u32)> = target.edges().map(|(a, b)| (a as u32, b as u32)).collect();
     let matrix = (n <= ADJACENCY_MATRIX_LIMIT).then(|| AdjacencyMatrix::build(host));
     let mut kernel = VerifyKernel::new(target.node_count(), &target_edges, host, matrix.as_ref());
     let mut combo: Vec<usize> = Vec::with_capacity(k);
@@ -288,7 +286,12 @@ pub fn verify_sampled(
 /// (the definition quantifies over exactly `|V(G')| − N` missing nodes, but
 /// tolerating every smaller fault count follows and is what a real system
 /// needs). Returns one report per fault count.
-pub fn verify_up_to(target: &Graph, host: &Graph, k: usize, threads: usize) -> Vec<ToleranceReport> {
+pub fn verify_up_to(
+    target: &Graph,
+    host: &Graph,
+    k: usize,
+    threads: usize,
+) -> Vec<ToleranceReport> {
     (0..=k)
         .map(|faults| verify_exhaustive(target, host, faults, threads))
         .collect()

@@ -62,7 +62,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.len, "BitSet: value {value} out of range {}", self.len);
+        assert!(
+            value < self.len,
+            "BitSet: value {value} out of range {}",
+            self.len
+        );
         let (w, b) = (value / 64, value % 64);
         let present = self.words[w] >> b & 1 == 1;
         self.words[w] |= 1 << b;
@@ -71,7 +75,11 @@ impl BitSet {
 
     /// Removes `value`, returning `true` if it was present.
     pub fn remove(&mut self, value: usize) -> bool {
-        assert!(value < self.len, "BitSet: value {value} out of range {}", self.len);
+        assert!(
+            value < self.len,
+            "BitSet: value {value} out of range {}",
+            self.len
+        );
         let (w, b) = (value / 64, value % 64);
         let present = self.words[w] >> b & 1 == 1;
         self.words[w] &= !(1 << b);
@@ -161,10 +169,7 @@ impl BitSet {
 
     /// Returns `true` if the two sets share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Returns `true` if every element of `self` is also in `other`.

@@ -55,15 +55,28 @@ impl std::fmt::Display for EmbeddingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EmbeddingError::DomainSizeMismatch { expected, actual } => {
-                write!(f, "embedding domain has {actual} entries, guest graph has {expected} nodes")
+                write!(
+                    f,
+                    "embedding domain has {actual} entries, guest graph has {expected} nodes"
+                )
             }
             EmbeddingError::ImageOutOfRange { guest, image } => {
                 write!(f, "image {image} of guest node {guest} is not a host node")
             }
-            EmbeddingError::NotInjective { first, second, image } => {
-                write!(f, "guest nodes {first} and {second} both map to host node {image}")
+            EmbeddingError::NotInjective {
+                first,
+                second,
+                image,
+            } => {
+                write!(
+                    f,
+                    "guest nodes {first} and {second} both map to host node {image}"
+                )
             }
-            EmbeddingError::MissingEdge { guest_edge, image_edge } => write!(
+            EmbeddingError::MissingEdge {
+                guest_edge,
+                image_edge,
+            } => write!(
                 f,
                 "guest edge ({}, {}) maps to ({}, {}), which is not a host edge",
                 guest_edge.0, guest_edge.1, image_edge.0, image_edge.1
@@ -82,7 +95,9 @@ impl Embedding {
 
     /// The identity embedding on `n` nodes.
     pub fn identity(n: usize) -> Self {
-        Embedding { map: (0..n).collect() }
+        Embedding {
+            map: (0..n).collect(),
+        }
     }
 
     /// The image of guest node `x`.

@@ -56,7 +56,10 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::SelfLoop { node } => write!(f, "self loop on node {node}"),
             GraphError::Asymmetric { u, v } => {
-                write!(f, "asymmetric adjacency: {u} lists {v} but {v} does not list {u}")
+                write!(
+                    f,
+                    "asymmetric adjacency: {u} lists {v} but {v} does not list {u}"
+                )
             }
             GraphError::OutOfRange { node, neighbor } => {
                 write!(f, "neighbour {neighbor} of node {node} is out of range")
@@ -95,7 +98,10 @@ impl Graph {
     /// adjacency, out-of-range neighbours, or more than `u32::MAX` nodes or
     /// directed edges — is rejected with a [`GraphError`] in release builds
     /// too, instead of silently corrupting the edge count.
-    pub fn from_adjacency(mut adjacency: Vec<Vec<NodeId>>, name: String) -> Result<Self, GraphError> {
+    pub fn from_adjacency(
+        mut adjacency: Vec<Vec<NodeId>>,
+        name: String,
+    ) -> Result<Self, GraphError> {
         let n = adjacency.len();
         if n >= u32::MAX as usize {
             return Err(GraphError::TooLarge { nodes: n });
@@ -106,7 +112,10 @@ impl Graph {
             list.dedup();
             if let Some(&last) = list.last() {
                 if last >= n {
-                    return Err(GraphError::OutOfRange { node: v, neighbor: last });
+                    return Err(GraphError::OutOfRange {
+                        node: v,
+                        neighbor: last,
+                    });
                 }
             }
             if list.binary_search(&v).is_ok() {
@@ -124,13 +133,20 @@ impl Graph {
             neighbors.extend(list.iter().map(|&u| u as u32));
             offsets.push(neighbors.len() as u32);
         }
-        let g = Graph { offsets, neighbors, name };
+        let g = Graph {
+            offsets,
+            neighbors,
+            name,
+        };
         // Symmetry: every (v, u) must be mirrored by (u, v). With sorted CSR
         // rows this is one binary search per directed edge.
         for v in 0..n {
             for &u in g.neighbors(v) {
                 if !g.has_edge(u as NodeId, v) {
-                    return Err(GraphError::Asymmetric { u: v, v: u as NodeId });
+                    return Err(GraphError::Asymmetric {
+                        u: v,
+                        v: u as NodeId,
+                    });
                 }
             }
         }
@@ -375,7 +391,13 @@ mod tests {
     #[test]
     fn out_of_range_neighbours_are_rejected() {
         let err = Graph::from_adjacency(vec![vec![5], vec![0]], String::new()).unwrap_err();
-        assert_eq!(err, GraphError::OutOfRange { node: 0, neighbor: 5 });
+        assert_eq!(
+            err,
+            GraphError::OutOfRange {
+                node: 0,
+                neighbor: 5
+            }
+        );
     }
 
     #[test]
@@ -389,8 +411,17 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(GraphError::SelfLoop { node: 3 }.to_string().contains('3'));
-        assert!(GraphError::Asymmetric { u: 1, v: 2 }.to_string().contains("symmetric"));
-        assert!(GraphError::OutOfRange { node: 0, neighbor: 9 }.to_string().contains('9'));
-        assert!(GraphError::TooLarge { nodes: 7 }.to_string().contains("u32"));
+        assert!(GraphError::Asymmetric { u: 1, v: 2 }
+            .to_string()
+            .contains("symmetric"));
+        assert!(GraphError::OutOfRange {
+            node: 0,
+            neighbor: 9
+        }
+        .to_string()
+        .contains('9'));
+        assert!(GraphError::TooLarge { nodes: 7 }
+            .to_string()
+            .contains("u32"));
     }
 }

@@ -60,13 +60,25 @@ pub fn adjacency_table(g: &Graph) -> String {
 pub fn adjacency_table_with_labels<F: Fn(NodeId) -> String>(g: &Graph, label: F) -> String {
     let mut out = String::new();
     if !g.name().is_empty() {
-        let _ = writeln!(out, "# {} : {} nodes, {} edges, max degree {}",
-            g.name(), g.node_count(), g.edge_count(), g.max_degree());
+        let _ = writeln!(
+            out,
+            "# {} : {} nodes, {} edges, max degree {}",
+            g.name(),
+            g.node_count(),
+            g.edge_count(),
+            g.max_degree()
+        );
     }
     let width = g.nodes().map(|v| label(v).len()).max().unwrap_or(1);
     for v in g.nodes() {
         let neighbours: Vec<String> = g.neighbors(v).iter().map(|&u| label(u as NodeId)).collect();
-        let _ = writeln!(out, "{:>width$} : {}", label(v), neighbours.join(" "), width = width);
+        let _ = writeln!(
+            out,
+            "{:>width$} : {}",
+            label(v),
+            neighbours.join(" "),
+            width = width
+        );
     }
     out
 }
@@ -75,7 +87,11 @@ pub fn adjacency_table_with_labels<F: Fn(NodeId) -> String>(g: &Graph, label: F)
 pub fn summary_line(g: &Graph) -> String {
     format!(
         "{}: |V|={} |E|={} degree(min/max)={}/{}",
-        if g.name().is_empty() { "graph" } else { g.name() },
+        if g.name().is_empty() {
+            "graph"
+        } else {
+            g.name()
+        },
         g.node_count(),
         g.edge_count(),
         g.min_degree(),

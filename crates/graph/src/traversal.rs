@@ -216,7 +216,8 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
 pub fn shortest_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
     let mut s = Searcher::new();
     let mut path = Vec::new();
-    s.shortest_path_into(g, source, target, &mut path).then_some(path)
+    s.shortest_path_into(g, source, target, &mut path)
+        .then_some(path)
 }
 
 /// Depth-first preorder starting from `source`, restricted to the connected
@@ -396,7 +397,11 @@ mod tests {
         assert!(s.shortest_path_into(&c, 0, 3, &mut out));
         let cap = out.capacity();
         assert!(s.shortest_path_into(&c, 1, 4, &mut out));
-        assert_eq!(out.capacity(), cap, "buffer must be reused, not reallocated");
+        assert_eq!(
+            out.capacity(),
+            cap,
+            "buffer must be reused, not reallocated"
+        );
         assert_eq!(out.len(), 4); // distance 3 either way around the cycle
         assert_eq!((out[0], out[3]), (1, 4));
     }

@@ -62,7 +62,10 @@ pub fn allreduce_hypercube(h: usize, values: &[u64]) -> AscendOutcome {
         }
         std::mem::swap(&mut vals, &mut next);
     }
-    AscendOutcome { steps: h, values: vals }
+    AscendOutcome {
+        steps: h,
+        values: vals,
+    }
 }
 
 /// All-reduce (sum) executed with the shuffle-exchange emulation on a
@@ -87,7 +90,11 @@ pub fn allreduce_shuffle_exchange(
 ) -> Result<AscendOutcome, SimError> {
     let n = se.node_count();
     assert_eq!(values.len(), n, "need one value per logical node");
-    assert_eq!(placement.len(), n, "placement must cover every logical node");
+    assert_eq!(
+        placement.len(),
+        n,
+        "placement must cover every logical node"
+    );
     let h = se.h();
     // `vals` and `scratch` ping-pong across the exchange and shuffle steps;
     // every slot is overwritten each step, so no clearing (and no per-phase
@@ -113,7 +120,10 @@ pub fn allreduce_shuffle_exchange(
         }
         steps += 1;
     }
-    Ok(AscendOutcome { steps, values: vals })
+    Ok(AscendOutcome {
+        steps,
+        values: vals,
+    })
 }
 
 /// The Descend variant: dimensions in decreasing order. On the
@@ -150,7 +160,10 @@ pub fn descend_shuffle_exchange(
         }
         steps += 1;
     }
-    Ok(AscendOutcome { steps, values: vals })
+    Ok(AscendOutcome {
+        steps,
+        values: vals,
+    })
 }
 
 #[cfg(test)]
@@ -231,13 +244,9 @@ mod tests {
         for faulty in 0..ft.node_count() {
             let faults = FaultSet::from_nodes(ft.node_count(), [faulty]);
             let placement = ft.reconfigure_verified(&faults).unwrap();
-            let machine = PhysicalMachine::with_faults(
-                ft.graph().clone(),
-                faults,
-                PortModel::MultiPort,
-            );
-            let out =
-                allreduce_shuffle_exchange(&se, &placement, &machine, &seq(n)).unwrap();
+            let machine =
+                PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
+            let out = allreduce_shuffle_exchange(&se, &placement, &machine, &seq(n)).unwrap();
             assert_eq!(out.steps, 2 * h);
             assert!(out.values.iter().all(|&v| v == total(n)));
         }
@@ -245,7 +254,10 @@ mod tests {
 
     #[test]
     fn slowdown_helper_handles_zero_dimension() {
-        let out = AscendOutcome { steps: 0, values: vec![0] };
+        let out = AscendOutcome {
+            steps: 0,
+            values: vec![0],
+        };
         assert_eq!(out.slowdown_vs_hypercube(0), 1.0);
     }
 }

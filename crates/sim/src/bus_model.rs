@@ -32,7 +32,11 @@ pub enum Interconnect {
 /// Number of unit-time slots needed for every node to send `distinct_values`
 /// different values to distinct forward partners, repeated for
 /// `supersteps` supersteps.
-pub fn slots_needed(interconnect: Interconnect, distinct_values: usize, supersteps: usize) -> usize {
+pub fn slots_needed(
+    interconnect: Interconnect,
+    distinct_values: usize,
+    supersteps: usize,
+) -> usize {
     let per_step = match interconnect {
         Interconnect::PointToPoint(PortModel::MultiPort) => usize::from(distinct_values > 0),
         Interconnect::PointToPoint(PortModel::SinglePort) => distinct_values,
@@ -79,8 +83,16 @@ pub fn bus_timing_table(fanouts: &[usize]) -> Vec<BusTimingRow> {
         .iter()
         .map(|&fanout| BusTimingRow {
             fanout,
-            p2p_multi_port: slots_needed(Interconnect::PointToPoint(PortModel::MultiPort), fanout, 1),
-            p2p_single_port: slots_needed(Interconnect::PointToPoint(PortModel::SinglePort), fanout, 1),
+            p2p_multi_port: slots_needed(
+                Interconnect::PointToPoint(PortModel::MultiPort),
+                fanout,
+                1,
+            ),
+            p2p_single_port: slots_needed(
+                Interconnect::PointToPoint(PortModel::SinglePort),
+                fanout,
+                1,
+            ),
             bus: slots_needed(Interconnect::Bus, fanout, 1),
             slowdown_vs_multi_port: bus_slowdown(PortModel::MultiPort, fanout),
             slowdown_vs_single_port: bus_slowdown(PortModel::SinglePort, fanout),

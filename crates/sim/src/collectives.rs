@@ -55,7 +55,11 @@ pub fn scan_hypercube(h: usize, values: &[u64]) -> ScanOutcome {
     let mut next_prefix = vec![0u64; n];
     let mut next_total = vec![0u64; n];
     for dim in 0..h {
-        for (x, (p, t)) in next_prefix.iter_mut().zip(next_total.iter_mut()).enumerate() {
+        for (x, (p, t)) in next_prefix
+            .iter_mut()
+            .zip(next_total.iter_mut())
+            .enumerate()
+        {
             let partner = x ^ (1 << dim);
             *p = if x & (1 << dim) != 0 {
                 prefix[x].wrapping_add(total[partner])
@@ -95,7 +99,11 @@ pub fn scan_shuffle_exchange(
 ) -> Result<ScanOutcome, SimError> {
     let n = se.node_count();
     assert_eq!(values.len(), n, "need one value per logical node");
-    assert_eq!(placement.len(), n, "placement must cover every logical node");
+    assert_eq!(
+        placement.len(),
+        n,
+        "placement must cover every logical node"
+    );
     let h = se.h();
     // State per physical slot: (logical owner, prefix, total). Each step
     // fully overwrites the "next" buffers, so the two buffer sets ping-pong
@@ -202,8 +210,7 @@ mod tests {
         let n = se.node_count();
         let mut machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
         machine.inject_fault(7);
-        let result =
-            scan_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values(n, 3));
+        let result = scan_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values(n, 3));
         assert!(matches!(result, Err(SimError::FaultyProcessor { node: 7 })));
     }
 
@@ -220,11 +227,8 @@ mod tests {
         for _ in 0..10 {
             let faults = FaultSet::random(ft.node_count(), k, &mut rng);
             let placement = ft.reconfigure_verified(&faults).unwrap();
-            let machine = PhysicalMachine::with_faults(
-                ft.graph().clone(),
-                faults,
-                PortModel::MultiPort,
-            );
+            let machine =
+                PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
             let out = scan_shuffle_exchange(&se, &placement, &machine, &vals).unwrap();
             assert_eq!(out.prefix, expected);
             assert_eq!(out.steps, 2 * h);

@@ -67,11 +67,7 @@ pub fn diagnose(machine: &PhysicalMachine) -> DiagnosisReport {
             }
         }
     }
-    let unobserved = machine
-        .faults()
-        .iter()
-        .filter(|&f| !observed[f])
-        .collect();
+    let unobserved = machine.faults().iter().filter(|&f| !observed[f]).collect();
     DiagnosisReport {
         diagnosed,
         probes_sent,
@@ -112,9 +108,12 @@ pub fn detect_reconfigure_resume(
     );
     let diagnosis = diagnose(&machine);
     // Reconfigure from what was *diagnosed*, not from ground truth.
-    let placement = ft
-        .reconfigure_verified(&diagnosis.diagnosed)
-        .map_err(|_| SimError::Unreachable { source: 0, target: 0 })?;
+    let placement =
+        ft.reconfigure_verified(&diagnosis.diagnosed)
+            .map_err(|_| SimError::Unreachable {
+                source: 0,
+                target: 0,
+            })?;
     let se = ShuffleExchange::new(ft.h());
     let out = allreduce_shuffle_exchange(&se, &placement, &machine, values)?;
     Ok(RecoveryOutcome {

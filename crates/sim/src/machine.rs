@@ -75,7 +75,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "route endpoint {node} is out of range (0..{limit})")
             }
             SimError::FaultBudgetExceeded { faults, budget } => {
-                write!(f, "{faults} faults exceed the construction's budget k = {budget}")
+                write!(
+                    f,
+                    "{faults} faults exceed the construction's budget k = {budget}"
+                )
             }
         }
     }
@@ -255,10 +258,15 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(SimError::FaultyProcessor { node: 3 }.to_string().contains('3'));
-        assert!(SimError::Unreachable { source: 1, target: 2 }
+        assert!(SimError::FaultyProcessor { node: 3 }
             .to_string()
-            .contains("healthy path"));
+            .contains('3'));
+        assert!(SimError::Unreachable {
+            source: 1,
+            target: 2
+        }
+        .to_string()
+        .contains("healthy path"));
         assert!(SimError::EndpointOutOfRange { node: 9, limit: 8 }
             .to_string()
             .contains("out of range"));

@@ -104,10 +104,14 @@ pub fn route_logical_debruijn_into(
             // step whose endpoints coincide under a non-injective
             // placement — no physical link is needed then).
             if !machine.is_healthy(next_physical) {
-                return Err(SimError::FaultyProcessor { node: next_physical });
+                return Err(SimError::FaultyProcessor {
+                    node: next_physical,
+                });
             }
             if next_physical != physical && !g.has_edge(physical, next_physical) {
-                return Err(SimError::MissingLink { link: (physical, next_physical) });
+                return Err(SimError::MissingLink {
+                    link: (physical, next_physical),
+                });
             }
             out.push(next_physical);
             physical = next_physical;
@@ -147,14 +151,21 @@ pub fn route_adaptive_into(
     let limit = machine.node_count();
     for endpoint in [physical_source, physical_target] {
         if endpoint >= limit {
-            return Err(SimError::EndpointOutOfRange { node: endpoint, limit });
+            return Err(SimError::EndpointOutOfRange {
+                node: endpoint,
+                limit,
+            });
         }
     }
     if !machine.is_healthy(physical_source) {
-        return Err(SimError::FaultyProcessor { node: physical_source });
+        return Err(SimError::FaultyProcessor {
+            node: physical_source,
+        });
     }
     if !machine.is_healthy(physical_target) {
-        return Err(SimError::FaultyProcessor { node: physical_target });
+        return Err(SimError::FaultyProcessor {
+            node: physical_target,
+        });
     }
     let found = scratch.searcher.shortest_path_filtered_into(
         machine.graph(),
@@ -208,9 +219,7 @@ enum Trust {
 /// validates its routing table when it is installed, not per packet.
 fn workload_trust(db: &DeBruijn2, placement: &Embedding, machine: &PhysicalMachine) -> Trust {
     let n = machine.node_count();
-    if placement.len() != db.node_count()
-        || placement.as_slice().iter().any(|&p| p >= n)
-    {
+    if placement.len() != db.node_count() || placement.as_slice().iter().any(|&p| p >= n) {
         return Trust::Checked;
     }
     let g = machine.graph();
@@ -237,10 +246,16 @@ fn workload_trust(db: &DeBruijn2, placement: &Embedding, machine: &PhysicalMachi
 fn check_endpoints(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<(), SimError> {
     let limit = db.node_count();
     if source >= limit {
-        return Err(SimError::EndpointOutOfRange { node: source, limit });
+        return Err(SimError::EndpointOutOfRange {
+            node: source,
+            limit,
+        });
     }
     if target >= limit {
-        return Err(SimError::EndpointOutOfRange { node: target, limit });
+        return Err(SimError::EndpointOutOfRange {
+            node: target,
+            limit,
+        });
     }
     Ok(())
 }
@@ -248,7 +263,11 @@ fn check_endpoints(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<(),
 /// Hop count of the oblivious route when nothing can fail (Trust::Full):
 /// pure shift arithmetic, no memory traffic besides the instruction stream.
 #[inline]
-fn oblivious_hops_trusted(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<usize, SimError> {
+fn oblivious_hops_trusted(
+    db: &DeBruijn2,
+    source: NodeId,
+    target: NodeId,
+) -> Result<usize, SimError> {
     check_endpoints(db, source, target)?;
     let mut hops = 0;
     let mut current = source;
@@ -541,11 +560,8 @@ mod tests {
         for faulty in [0usize, 7, 16] {
             let faults = FaultSet::from_nodes(ft.node_count(), [faulty]);
             let placement = ft.reconfigure_verified(&faults).unwrap();
-            let machine = PhysicalMachine::with_faults(
-                ft.graph().clone(),
-                faults,
-                PortModel::MultiPort,
-            );
+            let machine =
+                PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
             let pairs: Vec<(usize, usize)> = (0..db.node_count())
                 .flat_map(|s| [(s, (s * 7 + 3) % db.node_count()), (s, 0)])
                 .collect();
@@ -586,7 +602,10 @@ mod tests {
         for &(s, t) in &pairs {
             reference.record(&route_logical_debruijn(&db, &collapsed, &machine, s, t));
         }
-        assert_eq!(run_logical_workload(&db, &collapsed, &machine, &pairs), reference);
+        assert_eq!(
+            run_logical_workload(&db, &collapsed, &machine, &pairs),
+            reference
+        );
         assert_eq!(
             run_logical_workload_batched(&db, &collapsed, &machine, &pairs, 3),
             reference
@@ -667,7 +686,10 @@ mod tests {
             let bad = s.max(t);
             assert_eq!(
                 route_logical_debruijn_into(&db, &placement, &machine, s, t, &mut path),
-                Err(SimError::EndpointOutOfRange { node: bad, limit: n })
+                Err(SimError::EndpointOutOfRange {
+                    node: bad,
+                    limit: n
+                })
             );
             assert!(matches!(
                 route_logical_debruijn(&db, &placement, &machine, s, t),
@@ -682,7 +704,10 @@ mod tests {
         );
         assert_eq!(
             route_adaptive_into(&machine, 0, n + 1, &mut scratch),
-            Err(SimError::EndpointOutOfRange { node: n + 1, limit: n })
+            Err(SimError::EndpointOutOfRange {
+                node: n + 1,
+                limit: n
+            })
         );
     }
 

@@ -2,7 +2,7 @@
 
 use ftdb_graph::NodeId;
 use rand::seq::SliceRandom;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 
 /// Uniform random `(source, target)` pairs over `n` logical nodes
 /// (self-pairs allowed: they simply cost zero hops).
@@ -41,6 +41,95 @@ pub fn bit_reversal_pairs(h: usize) -> Vec<(NodeId, NodeId)> {
 /// All-to-one (hot-spot) workload: every node sends one packet to `root`.
 pub fn all_to_one(n: usize, root: NodeId) -> Vec<(NodeId, NodeId)> {
     (0..n).map(|s| (s, root)).collect()
+}
+
+/// How an open-loop source decides *when* to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionProcess {
+    /// Each node flips an independent coin every cycle: inject with
+    /// probability `offered_load`. The classic open-loop arrival process;
+    /// bursty at the cycle scale.
+    Bernoulli,
+    /// Each node injects on a fixed period of `round(1/offered_load)`
+    /// cycles, with its phase staggered by its node index so the fabric
+    /// never sees a synchronized all-nodes burst.
+    Staggered,
+}
+
+/// An open-loop offered-load experiment: inject for `warmup_cycles +
+/// measure_cycles`, measure only the middle window, then allow
+/// `drain_cycles` for in-flight packets to complete.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Injection probability per node per cycle (packets/node/cycle), > 0.
+    pub offered_load: f64,
+    /// The arrival process.
+    pub process: InjectionProcess,
+    /// Cycles to reach steady state before measuring.
+    pub warmup_cycles: u32,
+    /// The measurement window.
+    pub measure_cycles: u32,
+    /// Cycles after injection stops for the network to drain.
+    pub drain_cycles: u32,
+    /// RNG seed for arrival coins and destinations.
+    pub seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// Cycles during which sources inject: warm-up plus measurement.
+    pub fn injection_cycles(&self) -> u32 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// The full simulated horizon including the drain phase.
+    pub fn horizon(&self) -> u32 {
+        self.warmup_cycles + self.measure_cycles + self.drain_cycles
+    }
+
+    /// The measurement window `[start, end)`.
+    pub fn window(&self) -> (u32, u32) {
+        (self.warmup_cycles, self.warmup_cycles + self.measure_cycles)
+    }
+}
+
+/// Generates the open-loop injection schedule for `n` logical sources:
+/// `(cycle, source, target)` triples sorted by cycle, with uniform random
+/// targets. Under [`InjectionProcess::Bernoulli`] the RNG consumes one
+/// arrival coin *and* one destination draw per (cycle, node) whether or not
+/// the coin fires, so schedules at different offered loads from the same
+/// seed are coupled: the higher-load schedule is a superset of the
+/// lower-load one with identical destinations — which is what makes
+/// latency-vs-load comparisons (and the monotonicity property test)
+/// well-posed.
+pub fn open_loop_injections(n: usize, spec: &OpenLoopSpec) -> Vec<(u32, NodeId, NodeId)> {
+    assert!(spec.offered_load > 0.0, "offered load must be positive");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let mut schedule = Vec::new();
+    match spec.process {
+        InjectionProcess::Bernoulli => {
+            for cycle in 0..spec.injection_cycles() {
+                for node in 0..n {
+                    let coin: f64 = rng.random();
+                    let target = rng.random_range(0..n);
+                    if coin < spec.offered_load {
+                        schedule.push((cycle, node, target));
+                    }
+                }
+            }
+        }
+        InjectionProcess::Staggered => {
+            let period = (1.0 / spec.offered_load).round().max(1.0) as u32;
+            for cycle in 0..spec.injection_cycles() {
+                for node in 0..n {
+                    if (cycle + node as u32) % period == 0 {
+                        let target = rng.random_range(0..n);
+                        schedule.push((cycle, node, target));
+                    }
+                }
+            }
+        }
+    }
+    schedule
 }
 
 /// Per-node initial values for the Ascend/Descend computations: the node

@@ -38,7 +38,10 @@ impl CubeConnectedCycles {
                 b.add_edge(v, Self::encode_with(d, x ^ (1 << p), p));
             }
         }
-        CubeConnectedCycles { d, graph: b.build() }
+        CubeConnectedCycles {
+            d,
+            graph: b.build(),
+        }
     }
 
     fn encode_with(d: usize, x: usize, p: usize) -> NodeId {

@@ -37,7 +37,10 @@ impl DeBruijn2 {
                 b.add_edge(x, x_fn(x, 2, r as i64, n));
             }
         }
-        DeBruijn2 { h, graph: b.build() }
+        DeBruijn2 {
+            h,
+            graph: b.build(),
+        }
     }
 
     /// Builds `B_{2,h}` using the digit-string definition (shift the binary
@@ -58,7 +61,10 @@ impl DeBruijn2 {
             b.add_edge(x, shifted_right); // [0,x_{h-1},…,x_1]
             b.add_edge(x, shifted_right | (1 << (h - 1))); // [1,x_{h-1},…,x_1]
         }
-        DeBruijn2 { h, graph: b.build() }
+        DeBruijn2 {
+            h,
+            graph: b.build(),
+        }
     }
 
     /// The number of digits `h`.

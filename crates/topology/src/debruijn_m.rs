@@ -32,7 +32,11 @@ impl DeBruijnM {
                 b.add_edge(x, x_fn(x, m, r as i64, n));
             }
         }
-        DeBruijnM { m, h, graph: b.build() }
+        DeBruijnM {
+            m,
+            h,
+            graph: b.build(),
+        }
     }
 
     /// Builds `B_{m,h}` using the digit-string definition (drop the most
@@ -55,7 +59,11 @@ impl DeBruijnM {
                 b.add_edge(x, from_digits(&right, m));
             }
         }
-        DeBruijnM { m, h, graph: b.build() }
+        DeBruijnM {
+            m,
+            h,
+            graph: b.build(),
+        }
     }
 
     /// The base `m`.

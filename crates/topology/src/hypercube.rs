@@ -36,7 +36,10 @@ impl Hypercube {
                 }
             }
         }
-        Hypercube { d, graph: b.build() }
+        Hypercube {
+            d,
+            graph: b.build(),
+        }
     }
 
     /// The dimension `d`.

@@ -100,7 +100,10 @@ mod tests {
         // Exchange edges are not de Bruijn edges under the identity map
         // (h = 2 is the one degenerate exception, where they happen to be).
         for h in 3..=6 {
-            assert!(!identity_labeling_works(h), "identity unexpectedly works for h={h}");
+            assert!(
+                !identity_labeling_works(h),
+                "identity unexpectedly works for h={h}"
+            );
         }
     }
 

@@ -46,7 +46,10 @@ impl ShuffleExchange {
             b.add_edge(x, rotate_left(x, 2, h)); // shuffle (self-loop at 0…0 and 1…1 ignored)
             b.add_edge(x, x ^ 1); // exchange
         }
-        ShuffleExchange { h, graph: b.build() }
+        ShuffleExchange {
+            h,
+            graph: b.build(),
+        }
     }
 
     /// The number of digits `h`.

@@ -12,7 +12,12 @@ use ftdb_sim::bus_model::{bus_slowdown, bus_timing_table};
 use ftdb_sim::machine::PortModel;
 
 fn main() {
-    println!("{}\n", ftdb_examples::section("Section V bus implementation of the fault-tolerant de Bruijn graph"));
+    println!(
+        "{}\n",
+        ftdb_examples::section(
+            "Section V bus implementation of the fault-tolerant de Bruijn graph"
+        )
+    );
     let h = 3;
     let k = 1;
     let ft = FtDeBruijn2::new(h, k);

@@ -13,9 +13,7 @@
 
 use ftdb_core::FtDeBruijn2;
 use ftdb_graph::Embedding;
-use ftdb_sim::congestion::{
-    run_recovery, CongestionConfig, CongestionSim, FaultResponse,
-};
+use ftdb_sim::congestion::{run_recovery, CongestionConfig, CongestionSim, FaultResponse};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::workload;
 use ftdb_topology::DeBruijn2;

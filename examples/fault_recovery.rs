@@ -15,7 +15,12 @@ use ftdb_sim::workload;
 use ftdb_topology::ShuffleExchange;
 
 fn main() {
-    println!("{}\n", ftdb_examples::section("Fault recovery: Ascend all-reduce before and after reconfiguration"));
+    println!(
+        "{}\n",
+        ftdb_examples::section(
+            "Fault recovery: Ascend all-reduce before and after reconfiguration"
+        )
+    );
     let h = 5; // 32 logical processors
     let k = 2; // survive up to two failures
     let se = ShuffleExchange::new(h);

@@ -4,7 +4,8 @@
 //! explicit `[[bin]]` targets in `Cargo.toml`; run any of them with
 //! `cargo run -p ftdb-examples --bin <name>` where `<name>` is one of
 //! `quickstart`, `fault_recovery`, `routing_under_faults`,
-//! `network_comparison` or `bus_architecture`.
+//! `network_comparison`, `bus_architecture`, `congestion_recovery` or
+//! `load_sweep`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,88 @@
+//! Latency–throughput curves under bounded-buffer credit flow control: an
+//! open-loop offered-load sweep on the faulted, reconfigured `B^1(2,h)`.
+//!
+//! Each source injects a Bernoulli stream at the offered load for a warm-up
+//! plus a measurement window, then the network drains. With infinite
+//! buffers the delivered throughput climbs to saturation and *plateaus*;
+//! with bounded buffers and credit flow control it *rolls over* past
+//! saturation — tree saturation and head-of-line blocking eat into the
+//! delivered rate, and at depth 1 the de Bruijn shift cycles can fill into
+//! a genuine buffer deadlock (reported, not spun on).
+//!
+//! Run with (defaults shown):
+//! ```text
+//! cargo run -p ftdb-examples --bin load_sweep -- 8
+//! ```
+//! where the argument is `h` (logical network size `2^h`).
+
+use ftdb_analysis::sim_experiments::{render_sim5, sim5_load_sweep, SweepScenario};
+use ftdb_sim::congestion::FlowControl;
+use ftdb_sim::machine::PortModel;
+
+fn main() {
+    println!(
+        "{}\n",
+        ftdb_examples::section(
+            "Offered-load sweeps: saturation collapse under credit flow control"
+        )
+    );
+    let mut args = std::env::args().skip(1);
+    let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let seed = 0xF7DB;
+    let loads = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 0.95];
+
+    let mut peak_vs_end: Vec<(String, f64, f64)> = Vec::new();
+    for (label, flow) in [
+        ("infinite buffers".to_string(), FlowControl::Infinite),
+        (
+            "credit, depth 4".to_string(),
+            FlowControl::CreditBased { buffer_depth: 4 },
+        ),
+        (
+            "credit, depth 2".to_string(),
+            FlowControl::CreditBased { buffer_depth: 2 },
+        ),
+        (
+            "credit, depth 1".to_string(),
+            FlowControl::CreditBased { buffer_depth: 1 },
+        ),
+    ] {
+        let scenario = SweepScenario {
+            h,
+            k: 1,
+            fault_count: 1,
+            port: PortModel::MultiPort,
+            flow,
+        };
+        let points = sim5_load_sweep(&scenario, &loads, seed);
+        let title = format!("faulted B^1(2,{h}) (1 fault, reconfigured), multi-port, {label}");
+        println!("{}", render_sim5(title, &points).render());
+        let peak = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
+        let end = points.last().expect("nonempty sweep").throughput;
+        peak_vs_end.push((label, peak, end));
+    }
+
+    println!("saturation behaviour (delivered throughput, packets/node/cycle):\n");
+    println!(
+        "{:<20} {:>8} {:>12}  shape",
+        "flow control", "peak", "at max load"
+    );
+    for (label, peak, end) in &peak_vs_end {
+        let shape = if *peak < 0.01 {
+            "deadlocks before saturating"
+        } else if *end < 0.9 * peak {
+            "rolls over past saturation"
+        } else {
+            "plateaus"
+        };
+        println!("{label:<20} {peak:>8.4} {end:>12.4}  {shape}");
+    }
+    println!(
+        "\nInfinite buffers hide saturation collapse; bounded buffers with credit\n\
+         flow control reproduce it — the shallower the buffers, the earlier and\n\
+         harder the collapse, down to outright buffer deadlock at depth 1\n\
+         (fixed-length digit-shift routes wrap the de Bruijn shift cycles, and\n\
+         store-and-forward credit loops have no escape path). Virtual channels\n\
+         (ROADMAP) are the classic fix."
+    );
+}

@@ -14,7 +14,10 @@ use ftdb_analysis::comparison::{
 use ftdb_core::baseline::SpBaseline;
 
 fn main() {
-    println!("{}\n", ftdb_examples::section("Degree cost of fault tolerance: paper bounds vs measured"));
+    println!(
+        "{}\n",
+        ftdb_examples::section("Degree cost of fault tolerance: paper bounds vs measured")
+    );
     let mut args = std::env::args().skip(1);
     let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
@@ -36,7 +39,11 @@ fn main() {
     );
 
     println!("\nFull sweep around the chosen parameters:\n");
-    let rows = base2_table(&[h.saturating_sub(1).max(3), h, h + 2], &[1, k, k + 2], 1 << 14);
+    let rows = base2_table(
+        &[h.saturating_sub(1).max(3), h, h + 2],
+        &[1, k, k + 2],
+        1 << 14,
+    );
     println!("{}", render_comparison("base-2 comparison", &rows).render());
 
     let se_rows = shuffle_exchange_table(&[(h, 1), (h, k)], 6);

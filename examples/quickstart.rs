@@ -10,7 +10,10 @@ use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::render::summary_line;
 
 fn main() {
-    println!("{}\n", ftdb_examples::section("Quickstart: survive k faults on a de Bruijn machine"));
+    println!(
+        "{}\n",
+        ftdb_examples::section("Quickstart: survive k faults on a de Bruijn machine")
+    );
     // Target: the 64-node de Bruijn graph B(2,6). We want to survive any
     // k = 2 node failures.
     let h = 6;

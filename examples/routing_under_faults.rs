@@ -30,7 +30,10 @@ fn print_stats(label: &str, stats: &RoutingStats) {
 }
 
 fn main() {
-    println!("{}\n", ftdb_examples::section("Packet routing on healthy, faulty and reconfigured machines"));
+    println!(
+        "{}\n",
+        ftdb_examples::section("Packet routing on healthy, faulty and reconfigured machines")
+    );
     let mut args = std::env::args().skip(1);
     let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
     let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
@@ -70,8 +73,7 @@ fn main() {
     let placement = ft
         .reconfigure_verified(&ft_faults)
         .expect("Theorem 1: any k faults are tolerated");
-    let machine =
-        PhysicalMachine::with_faults(ft.graph().clone(), ft_faults, PortModel::MultiPort);
+    let machine = PhysicalMachine::with_faults(ft.graph().clone(), ft_faults, PortModel::MultiPort);
     print_stats(
         "B^k(2,h), k faults, reconfigured + oblivious",
         &run_logical_workload(&db, &placement, &machine, &pairs),

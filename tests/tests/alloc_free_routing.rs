@@ -47,7 +47,9 @@ fn allocations() -> u64 {
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn serial_guard() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Runs `region` up to five times and asserts that at least one run performs
@@ -241,4 +243,48 @@ fn fault_set_scratch_api_exists_for_callers() {
     });
     assert_eq!(count, 1021);
     assert!(sum > 0);
+}
+
+#[test]
+fn credit_flow_cycle_loop_is_allocation_free_after_warmup() {
+    let _guard = serial_guard();
+    // The bounded-buffer engine adds credit counters, a pending-return set
+    // and an injection queue to the cycle loop; all of them are sized at
+    // construction/load, so reset-and-rerun of a full open-loop run
+    // (inject -> credit-gated movement -> drain) must not allocate.
+    use ftdb_sim::congestion::{CongestionConfig, CongestionSim, FlowControl};
+    use ftdb_sim::workload::{open_loop_injections, InjectionProcess, OpenLoopSpec};
+    let db = DeBruijn2::new(6);
+    let n = db.node_count();
+    let spec = OpenLoopSpec {
+        offered_load: 0.15,
+        process: InjectionProcess::Bernoulli,
+        warmup_cycles: 60,
+        measure_cycles: 120,
+        drain_cycles: 200,
+        seed: 99,
+    };
+    let injections = open_loop_injections(n, &spec);
+    let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+    let mut sim = CongestionSim::new(
+        machine,
+        CongestionConfig {
+            flow_control: FlowControl::CreditBased { buffer_depth: 4 },
+            ..CongestionConfig::default()
+        },
+    );
+    sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+    // Warm-up run sizes any lazily-grown state.
+    sim.run_until(spec.horizon());
+    let warm = sim.counts();
+    assert!(warm.1 > 0, "warm-up must deliver packets");
+    let mut delivered = 0;
+    assert_eventually_alloc_free("credit-flow cycle loop", || {
+        sim.reset();
+        sim.run_until(spec.horizon());
+        delivered = sim.counts().1;
+    });
+    assert_eq!(delivered, warm.1);
+    sim.check_credit_conservation()
+        .expect("credit conservation after the measured runs");
 }

@@ -5,9 +5,7 @@
 
 use ftdb_core::FtDeBruijn2;
 use ftdb_graph::Embedding;
-use ftdb_sim::congestion::{
-    run_recovery, CongestionConfig, CongestionSim, FaultResponse,
-};
+use ftdb_sim::congestion::{run_recovery, CongestionConfig, CongestionSim, FaultResponse};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::run_logical_workload;
 use ftdb_sim::workload;
@@ -47,8 +45,7 @@ fn healthy_permutation_completes_within_analytic_order_bounds() {
         );
         // The longest packet needs at least its hop count in cycles.
         let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
-        let stats =
-            run_logical_workload(&db, &Embedding::identity(n), &machine, &pairs);
+        let stats = run_logical_workload(&db, &Embedding::identity(n), &machine, &pairs);
         assert!(report.cycles as usize >= stats.max_hops);
     }
 }
@@ -215,6 +212,9 @@ fn over_budget_fault_schedules_are_rejected_not_panicked() {
     );
     assert!(matches!(
         result,
-        Err(ftdb_sim::SimError::FaultBudgetExceeded { faults: 2, budget: 1 })
+        Err(ftdb_sim::SimError::FaultBudgetExceeded {
+            faults: 2,
+            budget: 1
+        })
     ));
 }

@@ -82,7 +82,11 @@ fn assert_observationally_equal(csr: &Graph, reference: &ReferenceGraph) {
     // has_edge over all pairs (plus a few out-of-range probes).
     for u in 0..n {
         for v in 0..n {
-            assert_eq!(csr.has_edge(u, v), reference.has_edge(u, v), "has_edge({u},{v})");
+            assert_eq!(
+                csr.has_edge(u, v),
+                reference.has_edge(u, v),
+                "has_edge({u},{v})"
+            );
         }
     }
     assert!(!csr.has_edge(n, 0));

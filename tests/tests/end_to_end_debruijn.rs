@@ -64,11 +64,13 @@ fn unprotected_machine_loses_packets_under_the_same_faults() {
     let db = DeBruijn2::new(6);
     let mut rng = ftdb_tests::seeded_rng(11);
     let faults = FaultSet::random(db.node_count(), 3, &mut rng);
-    let machine =
-        PhysicalMachine::with_faults(db.graph().clone(), faults, PortModel::MultiPort);
+    let machine = PhysicalMachine::with_faults(db.graph().clone(), faults, PortModel::MultiPort);
     let pairs = workload::permutation_pairs(db.node_count(), &mut rng);
     let stats = run_logical_workload(&db, &Embedding::identity(db.node_count()), &machine, &pairs);
-    assert!(stats.dropped > 0, "faults must cost the unprotected machine packets");
+    assert!(
+        stats.dropped > 0,
+        "faults must cost the unprotected machine packets"
+    );
 }
 
 #[test]

@@ -47,7 +47,11 @@ fn natural_ft_shuffle_exchange_is_exhaustively_tolerant() {
     for (h, k) in [(3, 1), (3, 2), (4, 1), (4, 2)] {
         let se = NaturalFtShuffleExchange::new(h, k);
         let report = verify_exhaustive(se.target().graph(), se.graph(), k, 4);
-        assert!(report.is_tolerant(), "natural SE^{k}_{h}: {:?}", report.failures);
+        assert!(
+            report.is_tolerant(),
+            "natural SE^{k}_{h}: {:?}",
+            report.failures
+        );
     }
 }
 
@@ -83,8 +87,7 @@ fn every_single_fault_stalls_the_unprotected_se_machine() {
     for faulty in 0..n {
         let mut machine = PhysicalMachine::new(se.graph().clone(), PortModel::MultiPort);
         machine.inject_fault(faulty);
-        let result =
-            allreduce_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values);
+        let result = allreduce_shuffle_exchange(&se, &Embedding::identity(n), &machine, &values);
         assert!(
             matches!(result, Err(SimError::FaultyProcessor { .. })),
             "faulty={faulty} unexpectedly completed"

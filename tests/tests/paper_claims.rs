@@ -4,7 +4,9 @@
 //! body) so that the reproduction can be audited claim by claim.
 
 use ftdb_core::baseline::SpBaseline;
-use ftdb_core::{BusArchitecture, FtDeBruijn2, FtDeBruijnM, FtShuffleExchange, NaturalFtShuffleExchange};
+use ftdb_core::{
+    BusArchitecture, FtDeBruijn2, FtDeBruijnM, FtShuffleExchange, NaturalFtShuffleExchange,
+};
 use ftdb_topology::labels::pow_nodes;
 use ftdb_topology::{DeBruijn2, DeBruijnM, ShuffleExchange};
 
@@ -37,7 +39,10 @@ fn claim_degrees_independent_of_n() {
     // modest size on it stabilises and never exceeds the bound.
     assert!(degrees.iter().all(|&d| d <= 4 * k + 4));
     let tail: Vec<usize> = degrees[2..].to_vec();
-    assert!(tail.windows(2).all(|w| w[0] == w[1]), "degrees kept changing with N: {degrees:?}");
+    assert!(
+        tail.windows(2).all(|w| w[0] == w[1]),
+        "degrees kept changing with N: {degrees:?}"
+    );
 }
 
 #[test]
@@ -101,8 +106,14 @@ fn claim_natural_labeling_is_worse() {
     for (h, k) in [(4, 1), (4, 2), (5, 1), (5, 2)] {
         let natural = NaturalFtShuffleExchange::new(h, k).graph().max_degree();
         let via_db = FtShuffleExchange::new(h, k).unwrap().graph().max_degree();
-        assert!(natural >= 6 * k + 4 - 2, "h={h}, k={k}: natural degree {natural}");
-        assert!(natural <= 6 * k + 6, "h={h}, k={k}: natural degree {natural}");
+        assert!(
+            natural >= 6 * k + 4 - 2,
+            "h={h}, k={k}: natural degree {natural}"
+        );
+        assert!(
+            natural <= 6 * k + 6,
+            "h={h}, k={k}: natural degree {natural}"
+        );
         assert!(via_db < natural, "h={h}, k={k}");
     }
 }

@@ -55,7 +55,9 @@ fn all_spare_fault_set_is_identity() {
     let ft = FtDeBruijn2::new(h, k);
     let n = ft.target().node_count();
     let faults = FaultSet::from_nodes(ft.node_count(), n..n + k);
-    let phi = ft.reconfigure_verified(&faults).expect("spares-only faults");
+    let phi = ft
+        .reconfigure_verified(&faults)
+        .expect("spares-only faults");
     assert_eq!(phi.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
     assert!(displacements(&phi).iter().all(|&d| d == 0));
     assert!(unused_spares(&phi, &faults).is_empty());
@@ -68,7 +70,9 @@ fn all_spare_fault_set_is_identity_base_m() {
     let ft = FtDeBruijnM::new(m, h, k);
     let n = ft.target().node_count();
     let faults = FaultSet::from_nodes(ft.node_count(), n..n + k);
-    let phi = ft.reconfigure_verified(&faults).expect("spares-only faults");
+    let phi = ft
+        .reconfigure_verified(&faults)
+        .expect("spares-only faults");
     assert_eq!(phi.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
 }
 

@@ -201,7 +201,12 @@ impl Criterion {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, warm_up: Duration, mut body: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement: Duration,
+    warm_up: Duration,
+    mut body: F,
+) {
     let mut bencher = Bencher {
         measurement: warm_up.min(MAX_WARM_UP),
         last_ns_per_iter: 0.0,

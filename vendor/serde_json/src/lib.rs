@@ -37,6 +37,22 @@ impl Value {
         }
     }
 
+    /// The number backing this value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean backing this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string slice backing this value, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -237,6 +253,224 @@ pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
     value.to_json_value()
 }
 
+/// A parse error: what went wrong and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where it was detected.
+    pub offset: usize,
+}
+
+impl Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`] — the inverse of the `Display`
+/// rendering above, added so the workspace can *read back* the reports it
+/// writes (`perf_report --compare` loads a committed baseline). Supports
+/// the full JSON grammar except `\uXXXX` surrogate pairs (the workspace
+/// never emits non-BMP escapes).
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.error("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character: `pos` only ever advances
+                    // past complete characters or ASCII bytes, so it is
+                    // always a char boundary of the original &str.
+                    let c = self.input[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
 /// Builds a [`Value`] from an object/array/scalar literal, mirroring the
 /// subset of serde_json's `json!` grammar the workspace uses.
 #[macro_export]
@@ -279,5 +513,48 @@ mod tests {
         assert_eq!(json!(null).to_string(), "null");
         assert_eq!(json!(f64::NAN).to_string(), "null");
         assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn from_str_round_trips_rendered_values() {
+        let v = json!({
+            "name": "suite \"quoted\"",
+            "ns_per_item": 25.7,
+            "count": 3usize,
+            "nested": json!({"flag": true, "none": json!(null)}),
+            "items": json!([1usize, 2.5, "x"]),
+        });
+        let parsed = super::from_str(&v.to_string()).expect("round trip parses");
+        assert_eq!(parsed, v);
+        assert_eq!(parsed["ns_per_item"].as_f64(), Some(25.7));
+        assert_eq!(parsed["nested"]["flag"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn from_str_accepts_whitespace_escapes_and_negatives() {
+        let parsed =
+            super::from_str(" { \"a\" : [ -1.5e2 , \"\\n\\t\\u0041\" ] ,\n \"b\" : false } ")
+                .expect("parses");
+        assert_eq!(parsed["a"][0].as_f64(), Some(-150.0));
+        assert_eq!(parsed["a"][1], "\n\tA");
+        assert_eq!(parsed["b"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
+            assert!(super::from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = super::from_str("{\"a\": nope}").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
     }
 }
