@@ -19,8 +19,7 @@ use ftdb_graph::Embedding;
 use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
 use ftdb_sim::bus_model::bus_timing_table;
 use ftdb_sim::congestion::{
-    run_open_loop, run_recovery, CongestionConfig, CongestionSim, FaultResponse, FlowControl,
-    OpenLoopReport,
+    run_recovery, CongestionConfig, CongestionSim, FaultResponse, FlowControl, OpenLoopReport,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::metrics::SlowdownRow;
@@ -319,9 +318,67 @@ pub struct SweepScenario {
     pub flow: FlowControl,
 }
 
+/// The canonical open-loop spec for one SIM5 sweep point.
+fn sim5_spec(offered_load: f64, seed: u64) -> ftdb_sim::workload::OpenLoopSpec {
+    ftdb_sim::workload::OpenLoopSpec {
+        offered_load,
+        process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+        warmup_cycles: 150,
+        measure_cycles: 300,
+        drain_cycles: 450,
+        seed,
+    }
+}
+
+/// Measures one contiguous chunk of sweep points on a single worker: one
+/// warmed [`CongestionSim`] (and one injection-schedule buffer) serves the
+/// whole chunk through [`CongestionSim::clear_workload`], so per-point cost
+/// is the simulation itself, not engine construction.
+fn sweep_chunk(
+    ft: &FtDeBruijn2,
+    faults: &FaultSet,
+    placement: &Embedding,
+    config: CongestionConfig,
+    port: PortModel,
+    loads: &[f64],
+    seed: u64,
+) -> Vec<OpenLoopReport> {
+    let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults.clone(), port);
+    let mut sim = CongestionSim::new(machine, config);
+    let mut injections = Vec::new();
+    let logical_n = ft.target().node_count();
+    loads
+        .iter()
+        .map(|&offered_load| {
+            let spec = sim5_spec(offered_load, seed);
+            ftdb_sim::workload::open_loop_injections_into(logical_n, &spec, &mut injections);
+            sim.clear_workload();
+            sim.load_oblivious_timed(ft.target(), placement, &injections);
+            ftdb_sim::congestion::measure_open_loop(&mut sim, &spec)
+        })
+        .collect()
+}
+
 /// Runs one latency–throughput curve: an open-loop Bernoulli run per
 /// offered load. Deterministic for a fixed `(scenario, loads, seed)`.
+/// Single-threaded form of [`sim5_load_sweep_parallel`].
 pub fn sim5_load_sweep(scenario: &SweepScenario, loads: &[f64], seed: u64) -> Vec<OpenLoopReport> {
+    sim5_load_sweep_parallel(scenario, loads, seed, 1)
+}
+
+/// Runs one latency–throughput curve with the sweep points fanned out over
+/// `threads` crossbeam scoped workers (the pattern of
+/// `ftdb_sim::routing::run_logical_workload_batched`): every point is an
+/// independent `(load, fault-set, seed)` simulation, each worker reuses one
+/// warmed engine across its contiguous chunk, and the chunks are merged in
+/// load order after the join — so the result is byte-identical to the
+/// sequential sweep for any thread count.
+pub fn sim5_load_sweep_parallel(
+    scenario: &SweepScenario,
+    loads: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Vec<OpenLoopReport> {
     let ft = FtDeBruijn2::new(scenario.h, scenario.k.max(1));
     // Kill processors that are actually *in use* by the zero-fault
     // placement (a random pick could land on an idle spare, making the
@@ -339,22 +396,28 @@ pub fn sim5_load_sweep(scenario: &SweepScenario, loads: &[f64], seed: u64) -> Ve
         flow_control: scenario.flow,
         ..CongestionConfig::default()
     };
-    loads
-        .iter()
-        .map(|&offered_load| {
-            let machine =
-                PhysicalMachine::with_faults(ft.graph().clone(), faults.clone(), scenario.port);
-            let spec = ftdb_sim::workload::OpenLoopSpec {
-                offered_load,
-                process: ftdb_sim::workload::InjectionProcess::Bernoulli,
-                warmup_cycles: 150,
-                measure_cycles: 300,
-                drain_cycles: 450,
-                seed,
-            };
-            run_open_loop(ft.target(), &placement, machine, config, &spec)
-        })
-        .collect()
+    let threads = threads.max(1).min(loads.len().max(1));
+    if threads == 1 {
+        return sweep_chunk(&ft, &faults, &placement, config, scenario.port, loads, seed);
+    }
+    let chunk = loads.len().div_ceil(threads);
+    let mut points = Vec::with_capacity(loads.len());
+    let (ft, faults, placement) = (&ft, &faults, &placement);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = loads
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    sweep_chunk(ft, faults, placement, config, scenario.port, slice, seed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            points.extend(handle.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("sweep scope panicked");
+    points
 }
 
 /// Renders one SIM5 curve as a [`TextTable`].
@@ -391,8 +454,10 @@ pub fn render_sim5(title: String, points: &[OpenLoopReport]) -> TextTable {
 
 /// The canonical SIM5 scenario grid for the `experiments -- sim-loadsweep`
 /// driver: healthy vs. faulted `B^1(2,h)`, MultiPort vs. SinglePort, and
-/// buffer depths {∞, 4, 2, 1} on the faulted machine.
-pub fn sim5_tables(h: usize, loads: &[f64], seed: u64) -> Vec<TextTable> {
+/// buffer depths {∞, 4, 2, 1} on the faulted machine. Each curve's sweep
+/// points are fanned out over `threads` workers; the rendered tables are
+/// byte-identical for any thread count.
+pub fn sim5_tables(h: usize, loads: &[f64], seed: u64, threads: usize) -> Vec<TextTable> {
     let mut tables = Vec::new();
     let scenarios: Vec<(String, SweepScenario)> = vec![
         (
@@ -459,7 +524,7 @@ pub fn sim5_tables(h: usize, loads: &[f64], seed: u64) -> Vec<TextTable> {
         ),
     ];
     for (title, scenario) in scenarios {
-        let points = sim5_load_sweep(&scenario, loads, seed);
+        let points = sim5_load_sweep_parallel(&scenario, loads, seed, threads);
         tables.push(render_sim5(title, &points));
     }
     tables
@@ -544,8 +609,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        // The acceptance bar for the harness: fanning sweep points over
+        // workers (with per-worker engine reuse) must not change a single
+        // byte of the rendered tables, for thread counts that divide the
+        // load grid evenly, unevenly, and exceed it.
+        let scenario = SweepScenario {
+            h: 5,
+            k: 1,
+            fault_count: 1,
+            port: PortModel::MultiPort,
+            flow: FlowControl::CreditBased { buffer_depth: 2 },
+        };
+        let loads = [0.05, 0.2, 0.4, 0.6, 0.8];
+        let sequential = sim5_load_sweep(&scenario, &loads, 11);
+        for threads in [2usize, 3, 4, 8] {
+            let parallel = sim5_load_sweep_parallel(&scenario, &loads, 11, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+            let a = render_sim5("t".into(), &sequential).render();
+            let b = render_sim5("t".into(), &parallel).render();
+            assert_eq!(a, b, "rendered tables differ at threads={threads}");
+        }
+    }
+
+    #[test]
     fn sim5_tables_cover_the_scenario_grid() {
-        let tables = sim5_tables(5, &[0.1, 0.4], 7);
+        let tables = sim5_tables(5, &[0.1, 0.4], 7, 2);
         assert_eq!(tables.len(), 6);
         let all: Vec<String> = tables.iter().map(|t| t.render()).collect();
         assert!(all[0].contains("healthy"));

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p ftdb-bench --bin experiments -- [experiment...]
+//! cargo run --release -p ftdb-bench --bin experiments -- [--threads N] [experiment...]
 //! ```
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
@@ -12,6 +12,12 @@
 //! (default: `all`). Output is
 //! plain text on stdout; it is the source of the measured numbers recorded
 //! in `EXPERIMENTS.md`.
+//!
+//! `--threads N` sizes the worker pool of the sweep-style experiments
+//! (currently `sim-loadsweep`; default: the machine's available
+//! parallelism). Every experiment is seeded and the parallel drivers merge
+//! in deterministic order, so the output is byte-identical for any `N` —
+//! CI diffs `--threads 4` against `--threads 1` to enforce exactly that.
 
 use ftdb_analysis::ablation::{
     offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
@@ -37,7 +43,7 @@ fn print_figure(fig: &figures::Figure) {
     }
 }
 
-fn run(name: &str) -> bool {
+fn run(name: &str, threads: usize) -> bool {
     match name {
         "fig1" => print_figure(&figures::figure1()),
         "fig2" => print_figure(&figures::figure2()),
@@ -142,7 +148,7 @@ fn run(name: &str) -> bool {
         }
         "sim-loadsweep" => {
             let loads = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
-            for table in sim5_tables(7, &loads, 0xF7DB) {
+            for table in sim5_tables(7, &loads, 0xF7DB, threads) {
                 println!("{}", table.render());
             }
         }
@@ -170,7 +176,7 @@ fn run(name: &str) -> bool {
                 "sim-loadsweep",
                 "ablation",
             ] {
-                run(e);
+                run(e, threads);
             }
         }
         other => {
@@ -181,20 +187,36 @@ fn run(name: &str) -> bool {
     true
 }
 
+const USAGE: &str = "usage: experiments [--threads N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|ablation|all]...";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match ftdb_bench::parse_threads_value(it.next()) {
+                Ok(t) => threads = t,
+                Err(msg) => {
+                    eprintln!("experiments: {msg}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            _ => names.push(arg.clone()),
+        }
+    }
     let mut ok = true;
-    if args.is_empty() {
-        ok &= run("all");
+    if names.is_empty() {
+        ok &= run("all", threads);
     } else {
-        for a in &args {
-            ok &= run(a);
+        for a in &names {
+            ok &= run(a, threads);
         }
     }
     if !ok {
-        eprintln!(
-            "usage: experiments [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|ablation|all]..."
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 }

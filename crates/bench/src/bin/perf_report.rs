@@ -20,11 +20,14 @@
 //! `ns_per_item`), printing GitHub `::warning::` annotations for each
 //! regression — the perf-regression CI gate.
 
+use ftdb_analysis::sim_experiments::{sim5_load_sweep_parallel, SweepScenario};
 use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;
 use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
-use ftdb_sim::congestion::{measure_open_loop, CongestionConfig, CongestionSim, FlowControl};
+use ftdb_sim::congestion::{
+    measure_open_loop, CongestionConfig, CongestionSim, EngineKind, FlowControl,
+};
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::{
     route_logical_debruijn_into, run_adaptive_workload, run_logical_workload,
@@ -93,8 +96,7 @@ fn suite_entry(name: &str, m: &Measurement, items: u64, item_label: &str) -> (St
     )
 }
 
-const USAGE: &str =
-    "usage: perf_report [--quick] [--out PATH] [--compare BASELINE [--threshold RATIO]]";
+const USAGE: &str = "usage: perf_report [--quick] [--threads N] [--out PATH] [--compare BASELINE [--threshold RATIO]]";
 
 /// Prints the offending argument and the usage line, then exits nonzero.
 /// Unknown flags and a dangling `--out` are hard errors: a typo must not
@@ -111,10 +113,15 @@ fn main() {
     let mut out_path = "BENCH_perf.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut threshold = 1.3f64;
+    let mut threads_flag: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--threads" => match ftdb_bench::parse_threads_value(it.next()) {
+                Ok(t) => threads_flag = Some(t),
+                Err(msg) => usage_error(msg),
+            },
             "--out" => match it.next() {
                 Some(path) => out_path = path.clone(),
                 None => usage_error("--out requires a PATH value"),
@@ -135,7 +142,8 @@ fn main() {
         }
     }
     let repeats = if quick { 5 } else { 15 };
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads =
+        threads_flag.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
     println!(
         "perf_report: mode={} threads={threads} repeats={repeats}",
         if quick { "quick" } else { "full" }
@@ -369,6 +377,113 @@ fn main() {
                 "throughput": last.throughput,
                 "accepted": last.accepted,
                 "mean_latency": last.latency.mean,
+            }),
+        ));
+    }
+
+    // ---- Wake-list core at near saturation ------------------------------
+    // The wake-list engine's home turf: an open-loop run just past the
+    // saturation knee, where most live packets are parked on full buffers.
+    // The retained naive rescan runs the identical workload so every report
+    // carries the before/after pair (the README "Engine internals" table).
+    for &(engine, label) in &[
+        (EngineKind::WakeList, "wakelist"),
+        (EngineKind::NaiveScan, "naivescan"),
+    ] {
+        let h = 8;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let spec = ftdb_sim::workload::OpenLoopSpec {
+            offered_load: 0.30,
+            process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+            warmup_cycles: 100,
+            measure_cycles: 200,
+            drain_cycles: 300,
+            seed: 5,
+        };
+        let injections = ftdb_sim::workload::open_loop_injections(n, &spec);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                flow_control: FlowControl::CreditBased { buffer_depth: 4 },
+                engine,
+                ..CongestionConfig::default()
+            },
+        );
+        sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+        let mut last = measure_open_loop(&mut sim, &spec);
+        let m = measure(repeats, || {
+            sim.reset();
+            last = measure_open_loop(&mut sim, &spec);
+            black_box(last.window_delivered);
+        });
+        let name = format!("congestion_{label}_nearsat_h{h}");
+        let (ns, rate) = per_item(&m, injections.len() as u64);
+        // This run is deliberately past the saturation knee (full
+        // congestion collapse), so window statistics are degenerate —
+        // report the collapse-shaped facts instead: cumulative deliveries
+        // by window end, and whether the run hard-deadlocked.
+        println!(
+            "{name:<40} {ns:>12.1} ns/packet  {rate:>14.0} packet/s  (collapse: {} of {} delivered by window end, deadlocked {})",
+            last.cum_delivered_by_window_end,
+            last.cum_injected_by_window_end,
+            last.deadlocked,
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "packet",
+                "items_per_run": injections.len() as u64,
+                "repeats": m.repeats,
+                "cum_injected_by_window_end": last.cum_injected_by_window_end,
+                "cum_delivered_by_window_end": last.cum_delivered_by_window_end,
+                "deadlocked": last.deadlocked,
+            }),
+        ));
+    }
+
+    // ---- Parallel sweep harness ------------------------------------------
+    // One SIM5-style latency-throughput curve fanned over `threads`
+    // crossbeam workers with per-worker engine reuse — the cost of a sweep
+    // campaign point, not of a single engine cycle. `threads` rides into
+    // the BENCH JSON (top level and per suite) so datapoints from different
+    // worker counts are never compared blind.
+    {
+        let loads: &[f64] = if quick {
+            &[0.05, 0.15, 0.30]
+        } else {
+            &[0.05, 0.10, 0.20, 0.30, 0.50]
+        };
+        let scenario = SweepScenario {
+            h: 7,
+            k: 1,
+            fault_count: 1,
+            port: PortModel::MultiPort,
+            flow: FlowControl::CreditBased { buffer_depth: 4 },
+        };
+        let mut last = sim5_load_sweep_parallel(&scenario, loads, 7, threads);
+        let m = measure(repeats, || {
+            last = sim5_load_sweep_parallel(&scenario, loads, 7, threads);
+            black_box(last.len());
+        });
+        let name = "sweep_parallel_h7".to_string();
+        let (ns, rate) = per_item(&m, loads.len() as u64);
+        println!(
+            "{name:<40} {ns:>12.1} ns/point  {rate:>14.0} point/s  ({} loads, {threads} threads)",
+            loads.len()
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "point",
+                "items_per_run": loads.len() as u64,
+                "repeats": m.repeats,
+                "threads": threads,
             }),
         ));
     }

@@ -39,6 +39,17 @@ pub const ROUTING_H: &[usize] = &[6, 8, 10];
 /// verification in a bench iteration.
 pub const VERIFY_PARAMS: &[(usize, usize)] = &[(3, 1), (3, 2), (4, 1), (4, 2)];
 
+/// Parses the value of a `--threads` flag: both binaries (`experiments`,
+/// `perf_report`) accept the same worker-count knob and must validate it
+/// identically. Returns the parsed count or a message for the caller's
+/// usage-error path.
+pub fn parse_threads_value(value: Option<&String>) -> Result<usize, &'static str> {
+    match value.and_then(|t| t.parse::<usize>().ok()) {
+        Some(t) if t >= 1 => Ok(t),
+        _ => Err("--threads requires a positive integer"),
+    }
+}
+
 /// Comparing two `BENCH_perf.json` reports — the logic behind
 /// `perf_report --compare <baseline> --threshold <ratio>`, kept in the
 /// library so the regression gate is unit-tested rather than only exercised

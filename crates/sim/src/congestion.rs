@@ -25,11 +25,41 @@
 //!   just saturation throughput. (No virtual channels, no
 //!   wormhole/cut-through — see ROADMAP "Open items".)
 //!
-//! Arbitration is deterministic oldest-first: live packets are visited in
-//! age order every cycle, and a packet claims its output port and link for
-//! the cycle when it moves. Since the first live packet visited always finds
-//! all resources free, at least one flit moves per cycle and every run
-//! terminates within `total-remaining-hops` cycles.
+//! Arbitration is deterministic oldest-first: packets are visited in age
+//! order every cycle, and a packet claims its output port and link for the
+//! cycle when it moves. Since the first examined packet always finds all
+//! resources free, at least one flit moves per cycle and every run
+//! terminates within `total-remaining-hops` cycles (or proves a deadlock).
+//!
+//! **Event-driven wake-list core.** Near saturation — where the offered-load
+//! sweeps spend almost all their cycles — most live packets are blocked on a
+//! full downstream buffer, and rescanning them every cycle is wasted work.
+//! The engine therefore only examines packets whose gating resources could
+//! have changed since their last examination:
+//!
+//! * A packet that fails on a **multi-cycle resource** (zero credits on its
+//!   next link's buffer) parks on that link slot's blocked queue (an
+//!   intrusive list over `blocked_head`/`blocked_next`) and is woken only
+//!   when a credit returns to the slot — on ordinary credit return, on a
+//!   fault kill releasing a dead processor's buffers, or on a drop/delivery
+//!   draining the slot.
+//! * A packet that fails on a **per-cycle resource** (output port taken
+//!   under `SinglePort`, link claimed by an older packet) is re-examined
+//!   the next cycle, when that claim expires — the cycle boundary *is* the
+//!   release event for per-cycle resources, so their "blocked queue" is the
+//!   next cycle's examination list.
+//! * Rare whole-network events (a fault firing, a recovery driver
+//!   re-targeting in-flight packets) wake every parked packet, because they
+//!   can invalidate any packet's next hop.
+//!
+//! Because parked packets provably cannot move (credits only decrease within
+//! a cycle), skipping them leaves every claim decision — and therefore every
+//! report — byte-identical to the naive full rescan. The rescan is retained
+//! as [`EngineKind::NaiveScan`] and the equivalence is enforced by a
+//! differential property test (`tests/tests/wakelist_differential.rs`).
+//! Wake-list bookkeeping aside, the hot path also precomputes each hop's CSR
+//! link slot next to the node (one packed `u64` per path entry), so the
+//! per-move neighbour search of earlier revisions is gone.
 //!
 //! **Dynamic faults.** A fault schedule (`Vec<(cycle, node)>`) kills
 //! processors *mid-run*. A packet sitting on a dying node is lost with it.
@@ -42,11 +72,12 @@
 //! image, and drains — measuring *recovery latency*, not just post-hoc
 //! embeddability.
 //!
-//! The steady-state cycle loop is allocation-free after [`CongestionSim`]
-//! construction, in the spirit of PR 2: per-link and per-node claims are
-//! epoch-stamped arrays indexed by CSR edge slot, the live-packet list is
-//! compacted in place, and [`CongestionSim::reset`] rewinds a loaded
-//! workload for reuse without touching the allocator.
+//! The steady-state cycle loop is allocation-free after loading, in the
+//! spirit of PR 2: claims are epoch-stamped arrays indexed by CSR edge
+//! slot, the examination lists and blocked queues are sized at load, and
+//! [`CongestionSim::reset`] rewinds a loaded workload for reuse without
+//! touching the allocator ([`CongestionSim::clear_workload`] additionally
+//! lets one warmed engine serve a whole sweep of different workloads).
 
 use crate::machine::{PhysicalMachine, PortModel, SimError};
 use crate::metrics::LatencySummary;
@@ -60,8 +91,46 @@ const NEVER: u32 = u32::MAX;
 /// Sentinel for "no logical target recorded" (adaptive loads).
 const NO_LOGICAL: u32 = u32::MAX;
 /// Sentinel for "occupies no link buffer" (the packet sits in its source's
-/// unbounded injection queue).
+/// unbounded injection queue). Doubles as the packed hop-slot of a path's
+/// final entry, which has no outgoing hop.
 const NO_SLOT: u32 = u32::MAX;
+/// Sentinel terminating the intrusive blocked-queue lists.
+const NONE_ID: u32 = u32::MAX;
+/// Flag bit on a packed path entry: the hop leaving this entry lands the
+/// packet on its target, so the mover resolves without re-reading
+/// `path_end` on the hot path.
+const DELIVERS: u64 = 1 << 63;
+
+/// Packs a path entry: physical node in the low 32 bits, the CSR slot of
+/// the hop *leaving* this entry in the high 32 (`NO_SLOT` on the last
+/// entry). One cache access yields both the node and its outgoing link.
+#[inline]
+fn pk(node: u32, slot: u32) -> u64 {
+    (node as u64) | ((slot as u64) << 32)
+}
+
+/// The physical node of a packed path entry.
+#[inline]
+fn pk_node(entry: u64) -> usize {
+    entry as u32 as usize
+}
+
+/// The CSR slot of the hop leaving a packed path entry.
+#[inline]
+fn pk_slot(entry: u64) -> u32 {
+    ((entry >> 32) as u32) & !(1 << 31)
+}
+
+/// Per-directed-link claim stamp and credit counter, interleaved so the
+/// examination fast path touches one cache location per link.
+#[derive(Clone, Copy, Debug)]
+struct LinkGate {
+    /// The link is taken for cycle `c` while `claim == c`.
+    claim: u32,
+    /// Free downstream buffer slots (unused under
+    /// [`FlowControl::Infinite`]).
+    credits: u32,
+}
 
 /// How link buffers are sized and guarded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +147,21 @@ pub enum FlowControl {
         /// Slots in each directed link's downstream input buffer (≥ 1).
         buffer_depth: u32,
     },
+}
+
+/// Which per-cycle scan discipline the engine runs. Both produce
+/// byte-identical reports; they differ only in how much work a cycle costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The event-driven wake-list core (default): a packet blocked on a
+    /// full downstream buffer leaves the examination list and parks on
+    /// that link slot's blocked queue until a credit returns, so a cycle
+    /// costs O(packets that could actually move).
+    #[default]
+    WakeList,
+    /// The naive full rescan retained as the differential-testing
+    /// reference: every in-flight packet is examined every cycle.
+    NaiveScan,
 }
 
 /// What a packet does when its precomputed route runs into a processor that
@@ -104,6 +188,9 @@ pub struct CongestionConfig {
     /// Link-buffer sizing: unbounded queues (default) or bounded buffers
     /// with credit-based flow control.
     pub flow_control: FlowControl,
+    /// Scan discipline: event-driven wake lists (default) or the retained
+    /// naive rescan. Reports are byte-identical either way.
+    pub engine: EngineKind,
 }
 
 impl Default for CongestionConfig {
@@ -112,6 +199,7 @@ impl Default for CongestionConfig {
             max_cycles: 1 << 20,
             fault_response: FaultResponse::Drop,
             flow_control: FlowControl::Infinite,
+            engine: EngineKind::WakeList,
         }
     }
 }
@@ -177,20 +265,25 @@ impl CongestionReport {
 /// Lifecycle: [`CongestionSim::new`] → `load_*` workload →
 /// ([`CongestionSim::schedule_fault`])* → [`CongestionSim::run`] (or
 /// [`CongestionSim::step`] in a driver loop) → [`CongestionSim::report`].
-/// [`CongestionSim::reset`] rewinds to the post-load state for another run.
+/// [`CongestionSim::reset`] rewinds to the post-load state for another run;
+/// [`CongestionSim::clear_workload`] discards the workload (keeping the
+/// machine and the engine's capacity) so one engine can serve many loads.
 #[derive(Clone, Debug)]
 pub struct CongestionSim {
     machine: PhysicalMachine,
     config: CongestionConfig,
     // --- packet storage (flattened CSR-style paths) --------------------
-    path_data: Vec<u32>,
+    /// Packed path entries: node | hop-slot << 32 (see [`pk`]). The hop
+    /// slot is precomputed at load/re-route time, so the cycle loop never
+    /// searches CSR rows.
+    path: Vec<u64>,
     path_start: Vec<u32>,
     path_end: Vec<u32>,
     /// Load-time copies of `path_start`/`path_end`: re-routes overwrite the
     /// live segments with spill positions, and `reset` restores from these.
     home_start: Vec<u32>,
     home_end: Vec<u32>,
-    /// Absolute index into `path_data` of each packet's current node.
+    /// Absolute index into `path` of each packet's current node.
     cursor: Vec<u32>,
     /// Logical target per packet (NO_LOGICAL for adaptive loads); lets the
     /// recovery driver re-target packets after a reconfiguration.
@@ -210,8 +303,8 @@ pub struct CongestionSim {
     /// rates are per *logical* source, which on `B^k(2,h)` hosts is fewer
     /// than the physical node count.
     open_loop_sources: u32,
-    /// Length of `path_data` right after loading finished; `reset`
-    /// truncates re-route spill segments back to this watermark.
+    /// Length of `path` right after loading finished; `reset` truncates
+    /// re-route spill segments back to this watermark.
     loaded_path_len: u32,
     // --- dynamic faults -------------------------------------------------
     /// `(cycle, node)` pairs sorted by cycle; applied before movement.
@@ -222,18 +315,28 @@ pub struct CongestionSim {
     dead_list: Vec<u32>,
     // --- cycle state -----------------------------------------------------
     cycle: u32,
-    /// Live packet ids in age order, compacted in place each cycle.
-    live: Vec<u32>,
-    /// Per-directed-CSR-slot claim stamp: slot is taken for cycle `c` when
-    /// `link_claim[slot] == c`.
-    link_claim: Vec<u32>,
+    /// In-flight packets (injected, not yet delivered or dropped).
+    in_flight: u64,
+    /// Dense in-flight flag per packet: lets the rare whole-network scans
+    /// (fault kills, re-targeting) and the lazy queue cleanup skip resolved
+    /// ids without compacting every queue they sit in.
+    in_network: Vec<bool>,
+    /// Bitmap work-queue of packets to examine this cycle (bit per packet
+    /// id). Scanning set bits low-to-high *is* oldest-first arbitration
+    /// order (ids are assigned in injection order), wakes are O(1) bit
+    /// sets, and re-waking an already-queued packet is naturally
+    /// idempotent — no sorting, merging or deduplication anywhere.
+    queued_now: Vec<u64>,
+    /// The bitmap being built for the next cycle (movers and
+    /// per-cycle-resource losers); swapped with `queued_now` each step.
+    queued_next: Vec<u64>,
+    /// Per-directed-CSR-slot claim stamp + credit counter.
+    links: Vec<LinkGate>,
     /// Per-node output-port claim stamp (consulted under `SinglePort`).
     node_claim: Vec<u32>,
     // --- credit flow control ----------------------------------------------
     /// Buffer depth per directed link (0 = `FlowControl::Infinite`).
     flow_depth: u32,
-    /// Free downstream slots per directed CSR slot (empty when infinite).
-    credits: Vec<u32>,
     /// Credits returned *this* cycle, applied at the start of the next one
     /// ("credits return one cycle after the slot drains").
     pending_credit: Vec<u32>,
@@ -243,6 +346,25 @@ pub struct CongestionSim {
     /// CSR slot of the input buffer each packet currently occupies
     /// (`NO_SLOT` while the packet waits in its source's injection queue).
     occupied_slot: Vec<u32>,
+    /// Head of each link slot's blocked queue (packets parked on zero
+    /// credits or on a lost link claim; `NONE_ID` = empty). Every packet
+    /// parked on a slot sits in the *same* upstream node's buffers and
+    /// competes for the *same* port, link claim and credits, so only the
+    /// oldest can ever move — the queue is kept sorted by id (= by age) and
+    /// wake events pop exactly one head instead of stampeding the whole
+    /// queue through the examination list.
+    blocked_head: Vec<u32>,
+    /// Tail of each slot's blocked queue: packets park mostly in age order
+    /// (injection order), so the common insert is an O(1) tail append.
+    blocked_tail: Vec<u32>,
+    /// Intrusive next-pointers threading the blocked queues through the
+    /// packet table.
+    blocked_next: Vec<u32>,
+    /// Slots a flit crossed this cycle. Each one's queue head is woken at
+    /// the *start* of the next cycle — after every park of this cycle has
+    /// settled into the sorted queues — so an older packet that re-parks at
+    /// the head after the serving move still gets its turn first.
+    served_slots: Vec<u32>,
     /// Scratch for the credit-conservation checker (per-slot occupancy).
     occupancy_scratch: Vec<u32>,
     /// Set when `run_to_quiescence` proves no flit can ever move again.
@@ -253,6 +375,14 @@ pub struct CongestionSim {
     total_flits: u64,
     delivered: u64,
     dropped: u64,
+    /// Latencies of delivered packets, recorded incrementally at delivery;
+    /// `lat_sorted` is the length of the already-sorted prefix, so
+    /// [`CongestionSim::report`] only sorts what arrived since the last
+    /// call and merges (windowed measurement stops paying a full
+    /// O(n log n) per window).
+    latencies: Vec<u32>,
+    lat_sorted: usize,
+    lat_scratch: Vec<u32>,
     // --- re-route scratch -------------------------------------------------
     searcher: Searcher,
     reroute_path: Vec<NodeId>,
@@ -276,22 +406,25 @@ impl CongestionSim {
             }
         };
         // Credit state is only materialised when bounded; `Infinite` pays
-        // nothing for the feature.
+        // nothing for the feature beyond the unused half of each LinkGate.
         let credit_len = if flow_depth > 0 { slots } else { 0 };
         CongestionSim {
             config,
             flow_depth,
-            credits: vec![flow_depth; credit_len],
             pending_credit: vec![0; credit_len],
             pending_slots: Vec::with_capacity(credit_len),
             occupied_slot: Vec::new(),
+            blocked_head: vec![NONE_ID; slots],
+            blocked_tail: vec![NONE_ID; slots],
+            blocked_next: Vec::new(),
+            served_slots: Vec::with_capacity(slots),
             occupancy_scratch: vec![0; credit_len],
             deadlocked: false,
             inject_at: Vec::new(),
             pending_inject: Vec::new(),
             inject_pos: 0,
             open_loop_sources: 0,
-            path_data: Vec::new(),
+            path: Vec::new(),
             path_start: Vec::new(),
             path_end: Vec::new(),
             home_start: Vec::new(),
@@ -307,13 +440,25 @@ impl CongestionSim {
             dead: vec![false; n],
             dead_list: Vec::new(),
             cycle: 0,
-            live: Vec::new(),
-            link_claim: vec![NEVER; slots],
+            in_flight: 0,
+            in_network: Vec::new(),
+            queued_now: Vec::new(),
+            queued_next: Vec::new(),
+            links: vec![
+                LinkGate {
+                    claim: NEVER,
+                    credits: flow_depth,
+                };
+                slots
+            ],
             node_claim: vec![NEVER; n],
             link_flits: vec![0; slots],
             total_flits: 0,
             delivered: 0,
             dropped: 0,
+            latencies: Vec::new(),
+            lat_sorted: 0,
+            lat_scratch: Vec::new(),
             searcher: Searcher::default(),
             reroute_path: Vec::new(),
             machine,
@@ -340,7 +485,7 @@ impl CongestionSim {
             self.path_start.len() as u64,
             self.delivered,
             self.dropped,
-            self.live.len() as u64,
+            self.in_flight,
         )
     }
 
@@ -357,7 +502,8 @@ impl CongestionSim {
     }
 
     /// CSR slot of directed edge `(u, v)`, mirroring `Graph::has_edge`'s
-    /// scan strategy (rows are sorted; short rows scan linearly).
+    /// scan strategy (rows are sorted; short rows scan linearly). Only used
+    /// at load/re-route time — the cycle loop reads the packed hop slots.
     fn edge_slot(&self, u: NodeId, v: u32) -> Option<usize> {
         let (offsets, neighbors) = self.machine.graph().csr();
         let start = offsets[u] as usize;
@@ -369,6 +515,25 @@ impl CongestionSim {
         }
     }
 
+    /// Fills the packed hop slots of `path[from..to]` (`to` exclusive; the
+    /// final entry keeps `NO_SLOT`). The links were validated when the
+    /// route was computed, so a missing slot here is a loader bug.
+    fn pack_hop_slots(&mut self, from: usize, to: usize) {
+        for i in from..to.saturating_sub(1) {
+            let u = pk_node(self.path[i]);
+            let v = pk_node(self.path[i + 1]) as u32;
+            let slot = self
+                .edge_slot(u, v)
+                .expect("loaded paths only traverse physical links");
+            let delivers = if i + 2 == to { DELIVERS } else { 0 };
+            self.path[i] = pk(u as u32, slot as u32) | delivers;
+        }
+        if to > from {
+            let last = pk_node(self.path[to - 1]) as u32;
+            self.path[to - 1] = pk(last, NO_SLOT);
+        }
+    }
+
     /// Appends one packet whose physical path is in `path` (consecutive
     /// duplicates — artifacts of non-injective placements — are collapsed;
     /// they cost no cycle and no link). `logical` records the logical
@@ -377,15 +542,17 @@ impl CongestionSim {
     /// load, the batch behaviour).
     fn push_packet(&mut self, path: &[NodeId], logical: u32, inject_cycle: u32) {
         let id = self.path_start.len() as u32;
-        let start = self.path_data.len() as u32;
+        let start = self.path.len() as u32;
         for &node in path {
-            if self.path_data.len() as u32 == start || self.path_data.last() != Some(&(node as u32))
+            if self.path.len() as u32 == start
+                || pk_node(*self.path.last().expect("nonempty")) != node
             {
-                self.path_data.push(node as u32);
+                self.path.push(node as u64);
             }
         }
-        let end = self.path_data.len() as u32;
+        let end = self.path.len() as u32;
         debug_assert!(end > start, "a packet path holds at least its source");
+        self.pack_hop_slots(start as usize, end as usize);
         self.path_start.push(start);
         self.path_end.push(end);
         self.home_start.push(start);
@@ -394,6 +561,9 @@ impl CongestionSim {
         self.logical_target.push(logical);
         self.inject_at.push(inject_cycle);
         self.occupied_slot.push(NO_SLOT);
+        self.blocked_next.push(NONE_ID);
+        self.in_network.push(false);
+        self.grow_queue_for(id as usize);
         if end - start == 1 && inject_cycle == 0 {
             // Already at the target when injected at load: delivered at
             // injection, latency 0 (the batch semantics — loading precedes
@@ -402,6 +572,7 @@ impl CongestionSim {
             self.dropped_at.push(NEVER);
             self.resolved_at_load.push(inject_cycle);
             self.delivered += 1;
+            self.latencies.push(0);
         } else {
             // Timed zero-hop packets resolve at their injection cycle, in
             // `inject_due_packets` — by then their source may have died.
@@ -409,7 +580,9 @@ impl CongestionSim {
             self.dropped_at.push(NEVER);
             self.resolved_at_load.push(NEVER);
             if inject_cycle == 0 {
-                self.live.push(id);
+                self.queue_now(id as usize);
+                self.in_network[id as usize] = true;
+                self.in_flight += 1;
             } else {
                 self.pending_inject.push(id);
             }
@@ -420,8 +593,10 @@ impl CongestionSim {
     /// injected and immediately dropped (mirroring the static kernels'
     /// accounting, where infeasible packets count as dropped).
     fn push_dead_packet(&mut self, source_hint: NodeId, inject_cycle: u32) {
-        let start = self.path_data.len() as u32;
-        self.path_data.push(source_hint as u32);
+        let start = self.path.len() as u32;
+        let id = self.path_start.len();
+        self.grow_queue_for(id);
+        self.path.push(pk(source_hint as u32, NO_SLOT));
         self.path_start.push(start);
         self.path_end.push(start + 1);
         self.home_start.push(start);
@@ -430,6 +605,8 @@ impl CongestionSim {
         self.logical_target.push(NO_LOGICAL);
         self.inject_at.push(inject_cycle);
         self.occupied_slot.push(NO_SLOT);
+        self.blocked_next.push(NONE_ID);
+        self.in_network.push(false);
         self.delivered_at.push(NEVER);
         self.dropped_at.push(inject_cycle);
         self.resolved_at_load.push(inject_cycle);
@@ -468,7 +645,7 @@ impl CongestionSim {
                 }
             }
         }
-        self.loaded_path_len = self.path_data.len() as u32;
+        self.loaded_path_len = self.path.len() as u32;
     }
 
     /// Loads an open-loop workload: `(inject_cycle, source, target)` logical
@@ -526,7 +703,7 @@ impl CongestionSim {
                 }
             }
         }
-        self.loaded_path_len = self.path_data.len() as u32;
+        self.loaded_path_len = self.path.len() as u32;
     }
 
     /// Loads a workload of *physical* pairs routed adaptively (BFS through
@@ -542,11 +719,11 @@ impl CongestionSim {
                 }
             }
         }
-        self.loaded_path_len = self.path_data.len() as u32;
+        self.loaded_path_len = self.path.len() as u32;
     }
 
     fn reserve_for(&mut self, packets: usize, hops_guess: usize) {
-        self.path_data.reserve(packets * hops_guess);
+        self.path.reserve(packets * hops_guess);
         for v in [
             &mut self.path_start,
             &mut self.path_end,
@@ -556,13 +733,23 @@ impl CongestionSim {
             &mut self.logical_target,
             &mut self.inject_at,
             &mut self.occupied_slot,
+            &mut self.blocked_next,
             &mut self.delivered_at,
             &mut self.dropped_at,
             &mut self.resolved_at_load,
+            &mut self.latencies,
+            &mut self.lat_scratch,
         ] {
             v.reserve(packets);
         }
-        self.live.reserve(packets);
+        self.in_network.reserve(packets);
+        // The work-queue bitmaps cover every loaded packet (one bit each),
+        // so sizing them here keeps the cycle loop allocation-free.
+        let words = (self.path_start.len() + packets).div_ceil(64);
+        self.queued_now
+            .reserve(words.saturating_sub(self.queued_now.len()));
+        self.queued_next
+            .reserve(words.saturating_sub(self.queued_next.len()));
     }
 
     /// Schedules processor `node` to die at the *start* of `cycle` (before
@@ -617,25 +804,138 @@ impl CongestionSim {
         }
     }
 
-    /// Applies the credits returned last cycle; returns how many.
+    /// Marks packet `id` delivered at `cycle`: stamps the outcome, records
+    /// the latency, and frees its buffer slot.
+    fn resolve_delivered(&mut self, id: usize, cycle: u32) {
+        self.delivered_at[id] = cycle;
+        self.delivered += 1;
+        self.latencies.push(cycle - self.inject_at[id]);
+        self.in_network[id] = false;
+        self.cursor[id] = NEVER;
+        self.in_flight -= 1;
+        self.release_slot(id);
+    }
+
+    /// Marks in-flight packet `id` dropped at `cycle` and frees its slot.
+    fn resolve_dropped(&mut self, id: usize, cycle: u32) {
+        self.dropped_at[id] = cycle;
+        self.dropped += 1;
+        self.in_network[id] = false;
+        self.cursor[id] = NEVER;
+        self.in_flight -= 1;
+        self.release_slot(id);
+    }
+
+    /// Queues packet `id` for examination *this* cycle (wake events fire
+    /// before the examination pass).
+    #[inline]
+    fn queue_now(&mut self, id: usize) {
+        self.queued_now[id >> 6] |= 1u64 << (id & 63);
+    }
+
+    /// Grows the work-queue bitmaps to cover packet `id`.
+    fn grow_queue_for(&mut self, id: usize) {
+        let words = (id >> 6) + 1;
+        if self.queued_now.len() < words {
+            self.queued_now.resize(words, 0);
+            self.queued_next.resize(words, 0);
+        }
+    }
+
+    /// Parks packet `id` on `slot`'s blocked queue, keeping the queue
+    /// sorted by id (= age): it will not be examined again until the slot
+    /// sees a credit with `id` at the queue head (or a whole-network wake).
+    /// Packets park in injection order on their first hop and in
+    /// examination order everywhere else, so the insert is almost always an
+    /// O(1) tail append (or head prepend for a re-parking ex-head).
+    fn park_on_slot(&mut self, id: usize, slot: usize) {
+        let id32 = id as u32;
+        let head = self.blocked_head[slot];
+        if head == NONE_ID {
+            self.blocked_head[slot] = id32;
+            self.blocked_tail[slot] = id32;
+            self.blocked_next[id] = NONE_ID;
+        } else if id32 > self.blocked_tail[slot] {
+            let tail = self.blocked_tail[slot] as usize;
+            self.blocked_next[tail] = id32;
+            self.blocked_tail[slot] = id32;
+            self.blocked_next[id] = NONE_ID;
+        } else if id32 < head {
+            self.blocked_next[id] = head;
+            self.blocked_head[slot] = id32;
+        } else {
+            // Mid-queue insert: rare (a buffered packet joining a long
+            // injection queue), and bounded by the queue length.
+            let mut prev = head as usize;
+            while self.blocked_next[prev] != NONE_ID && self.blocked_next[prev] < id32 {
+                prev = self.blocked_next[prev] as usize;
+            }
+            self.blocked_next[id] = self.blocked_next[prev];
+            self.blocked_next[prev] = id32;
+        }
+    }
+
+    /// Pops `slot`'s oldest parked packet back into this cycle's work
+    /// queue. Only the head can ever move (everything behind it shares the
+    /// same node port, link claim and credit counter and is strictly
+    /// younger), so one head per wake event is exact — no thundering herd.
+    fn wake_head(&mut self, slot: usize) {
+        let head = self.blocked_head[slot];
+        if head != NONE_ID {
+            self.queue_now(head as usize);
+            self.blocked_head[slot] = self.blocked_next[head as usize];
+            if self.blocked_head[slot] == NONE_ID {
+                self.blocked_tail[slot] = NONE_ID;
+            }
+        }
+    }
+
+    /// Drains `slot`'s blocked queue into this cycle's work queue.
+    fn wake_slot(&mut self, slot: usize) {
+        let mut cur = self.blocked_head[slot];
+        while cur != NONE_ID {
+            self.queue_now(cur as usize);
+            cur = self.blocked_next[cur as usize];
+        }
+        self.blocked_head[slot] = NONE_ID;
+        self.blocked_tail[slot] = NONE_ID;
+    }
+
+    /// Wakes every parked packet — the response to whole-network events
+    /// (a fault firing, a recovery driver re-routing in flight) that can
+    /// change any packet's next hop or its movability.
+    fn wake_all_parked(&mut self) {
+        for slot in 0..self.blocked_head.len() {
+            if self.blocked_head[slot] != NONE_ID {
+                self.wake_slot(slot);
+            }
+        }
+    }
+
+    /// Applies the credits returned last cycle and wakes the packets parked
+    /// on the replenished slots; returns how many credits were applied.
     fn apply_pending_credits(&mut self) -> u64 {
         let mut applied = 0;
         for i in 0..self.pending_slots.len() {
             let slot = self.pending_slots[i] as usize;
             applied += self.pending_credit[slot] as u64;
-            self.credits[slot] += self.pending_credit[slot];
+            self.links[slot].credits += self.pending_credit[slot];
             self.pending_credit[slot] = 0;
-            debug_assert!(self.credits[slot] <= self.flow_depth, "credit overflow");
+            debug_assert!(
+                self.links[slot].credits <= self.flow_depth,
+                "credit overflow"
+            );
+            self.wake_head(slot);
         }
         self.pending_slots.clear();
         applied
     }
 
     /// Moves packets whose injection cycle has arrived from the pending
-    /// queue into the live set (in age order); a packet whose source died
-    /// before its injection cycle is dropped at injection, and a zero-hop
-    /// packet injected on a living source is delivered on the spot
-    /// (latency 0). Returns how many packets went live.
+    /// queue into the examination list (in age order); a packet whose
+    /// source died before its injection cycle is dropped at injection, and
+    /// a zero-hop packet injected on a living source is delivered on the
+    /// spot (latency 0). Returns how many packets went live.
     fn inject_due_packets(&mut self) -> u64 {
         let mut injected = 0;
         while self.inject_pos < self.pending_inject.len() {
@@ -644,7 +944,7 @@ impl CongestionSim {
                 break;
             }
             self.inject_pos += 1;
-            let source = self.path_data[self.cursor[id] as usize] as usize;
+            let source = pk_node(self.path[self.cursor[id] as usize]);
             if !self.is_alive(source) {
                 self.dropped_at[id] = self.cycle;
                 self.dropped += 1;
@@ -652,8 +952,11 @@ impl CongestionSim {
                 // Already at the target: consumed at injection.
                 self.delivered_at[id] = self.cycle;
                 self.delivered += 1;
+                self.latencies.push(0);
             } else {
-                self.live.push(id as u32);
+                self.queue_now(id);
+                self.in_network[id] = true;
+                self.in_flight += 1;
                 injected += 1;
             }
         }
@@ -673,19 +976,22 @@ impl CongestionSim {
         for c in &mut self.occupancy_scratch {
             *c = 0;
         }
-        for &id in &self.live {
-            let slot = self.occupied_slot[id as usize];
+        for id in 0..self.in_network.len() {
+            if !self.in_network[id] {
+                continue;
+            }
+            let slot = self.occupied_slot[id];
             if slot != NO_SLOT {
                 self.occupancy_scratch[slot as usize] += 1;
             }
         }
-        for slot in 0..self.credits.len() {
+        for slot in 0..self.pending_credit.len() {
             let total =
-                self.credits[slot] + self.pending_credit[slot] + self.occupancy_scratch[slot];
+                self.links[slot].credits + self.pending_credit[slot] + self.occupancy_scratch[slot];
             if total != self.flow_depth {
                 return Err(format!(
                     "slot {slot}: credits {} + pending {} + occupants {} != depth {}",
-                    self.credits[slot],
+                    self.links[slot].credits,
                     self.pending_credit[slot],
                     self.occupancy_scratch[slot],
                     self.flow_depth
@@ -698,7 +1004,8 @@ impl CongestionSim {
     /// Applies schedule entries due at (or before) the current cycle, before
     /// any flit moves. Packets sitting on a dying node die with it — and,
     /// under credit flow control, give their buffer slots back (a dead
-    /// processor must not hold credits hostage). Returns
+    /// processor must not hold credits hostage). Every parked packet is
+    /// woken, because its next hop may now lead into a dead node. Returns
     /// how many nodes were killed; idempotent within a cycle, so a recovery
     /// driver may call it ahead of [`CongestionSim::step`] to reconfigure
     /// and re-target *before* the fault-cycle movement.
@@ -718,22 +1025,16 @@ impl CongestionSim {
         if killed > 0 {
             // Packets currently hosted on a dead processor are lost; their
             // buffer slots are reclaimed (returned to the upstream credit
-            // counters) so the kill does not leak credits.
+            // counters) so the kill does not leak credits. This is a rare
+            // whole-table scan — resolved ids stay in whatever queue they
+            // occupy and are skipped lazily at examination time.
             let cycle = self.cycle;
-            let mut write = 0;
-            for read in 0..self.live.len() {
-                let id = self.live[read] as usize;
-                let here = self.path_data[self.cursor[id] as usize] as usize;
-                if self.dead[here] {
-                    self.dropped_at[id] = cycle;
-                    self.dropped += 1;
-                    self.release_slot(id);
-                } else {
-                    self.live[write] = id as u32;
-                    write += 1;
+            for id in 0..self.in_network.len() {
+                if self.in_network[id] && self.dead[pk_node(self.path[self.cursor[id] as usize])] {
+                    self.resolve_dropped(id, cycle);
                 }
             }
-            self.live.truncate(write);
+            self.wake_all_parked();
             #[cfg(debug_assertions)]
             if let Err(msg) = self.check_credit_conservation() {
                 panic!("fault kill broke credit conservation: {msg}");
@@ -743,10 +1044,11 @@ impl CongestionSim {
     }
 
     /// Replaces the remaining path of live packet `id` with a BFS route
-    /// from its current node to `target`. Returns false (and leaves the
-    /// packet untouched) when no healthy path exists.
+    /// from its current node to `target`, re-deriving the packed hop slots
+    /// for the new suffix. Returns false (and leaves the packet untouched)
+    /// when no healthy path exists.
     fn reroute_packet(&mut self, id: usize, target: NodeId) -> bool {
-        let here = self.path_data[self.cursor[id] as usize] as usize;
+        let here = pk_node(self.path[self.cursor[id] as usize]);
         // Split the borrows: BFS needs &self.machine + &mut scratch.
         let machine = &self.machine;
         let dead = &self.dead;
@@ -763,11 +1065,13 @@ impl CongestionSim {
         // Spill the new path segment; the pre-fault spans stay in place
         // (only `reset` reclaims the spill, by truncating to the load
         // watermark).
-        let start = self.path_data.len() as u32;
-        self.path_data
-            .extend(self.reroute_path.iter().map(|&v| v as u32));
+        let start = self.path.len() as u32;
+        self.path
+            .extend(self.reroute_path.iter().map(|&v| v as u64));
+        let end = self.path.len();
+        self.pack_hop_slots(start as usize, end);
         self.path_start[id] = start;
-        self.path_end[id] = self.path_data.len() as u32;
+        self.path_end[id] = end as u32;
         self.cursor[id] = start;
         true
     }
@@ -775,136 +1079,184 @@ impl CongestionSim {
     /// Re-targets every in-flight packet that carries a logical target at
     /// `placement`'s image of that target and re-routes it adaptively —
     /// the drain step of online reconfiguration. Packets without a healthy
-    /// path (and packets already at the new image) resolve immediately.
+    /// path (and packets already at the new image) resolve immediately;
+    /// every parked packet is woken, since its route just changed under it.
     /// Returns `(rerouted, delivered_in_place, dropped)`.
     pub fn retarget_and_reroute(&mut self, placement: &Embedding) -> (u64, u64, u64) {
         let (mut rerouted, mut delivered_in_place, mut dropped) = (0, 0, 0);
         let cycle = self.cycle;
-        let mut write = 0;
-        for read in 0..self.live.len() {
-            let id = self.live[read] as usize;
+        for id in 0..self.in_network.len() {
+            if !self.in_network[id] {
+                continue;
+            }
             let logical = self.logical_target[id];
             if logical == NO_LOGICAL {
-                self.live[write] = id as u32;
-                write += 1;
                 continue;
             }
             let target = placement.apply(logical as usize);
-            let here = self.path_data[self.cursor[id] as usize] as usize;
+            let here = pk_node(self.path[self.cursor[id] as usize]);
             if here == target {
-                self.delivered_at[id] = cycle;
-                self.delivered += 1;
+                self.resolve_delivered(id, cycle);
                 delivered_in_place += 1;
-                self.release_slot(id);
             } else if self.reroute_packet(id, target) {
                 // The packet stays in the same physical buffer: a re-route
                 // replaces its remaining path, not its position.
                 rerouted += 1;
-                self.live[write] = id as u32;
-                write += 1;
             } else {
-                self.dropped_at[id] = cycle;
-                self.dropped += 1;
+                self.resolve_dropped(id, cycle);
                 dropped += 1;
-                self.release_slot(id);
             }
         }
-        self.live.truncate(write);
+        self.wake_all_parked();
         (rerouted, delivered_in_place, dropped)
     }
 
-    /// Simulates one cycle: applies the credits returned last cycle, injects
-    /// due open-loop packets, applies due faults, then moves every live
-    /// packet that wins its output port, link — and, under credit flow
-    /// control, a free downstream buffer slot. Returns a summary of what
-    /// happened; `CycleEvents::is_idle()` is true only when the run has
-    /// drained.
+    /// Simulates one cycle: applies the credits returned last cycle (waking
+    /// packets parked on the replenished slots), injects due open-loop
+    /// packets, applies due faults, then examines — in age order — every
+    /// packet whose gating resources could have changed, moving those that
+    /// win their output port, link and (under credit flow control) a free
+    /// downstream buffer slot. A packet that fails on a full buffer parks
+    /// on that slot's blocked queue; a packet that fails on a per-cycle
+    /// claim is re-examined next cycle. Returns a summary of what happened;
+    /// `CycleEvents::is_idle()` is true only when the run has drained.
     pub fn step(&mut self) -> CycleEvents {
         let credits_applied = self.apply_pending_credits();
+        // Claims taken last cycle expire now: wake each served slot's
+        // queue head (under credit flow only if the slot can actually
+        // admit a flit — otherwise the credit return will wake it).
+        for i in 0..self.served_slots.len() {
+            let slot = self.served_slots[i] as usize;
+            if self.blocked_head[slot] != NONE_ID
+                && (self.flow_depth == 0 || self.links[slot].credits > 0)
+            {
+                self.wake_head(slot);
+            }
+        }
+        self.served_slots.clear();
         let injected = self.inject_due_packets();
         let faults_fired = self.fire_due_faults();
         let stamp = self.cycle;
         let single_port = self.machine.port_model() == PortModel::SinglePort;
         let credit_based = self.flow_depth > 0;
+        let park = self.config.engine == EngineKind::WakeList;
+        // Loaded paths never cross statically-faulty processors, so the
+        // dead-next-hop check only matters once a dynamic fault has fired.
+        let hazard = !self.dead_list.is_empty();
         let mut moved = 0;
-        let mut write = 0;
-        for read in 0..self.live.len() {
-            let id = self.live[read] as usize;
-            let at = self.cursor[id] as usize;
-            let here = self.path_data[at] as usize;
-            let next = self.path_data[at + 1];
-            if !self.is_alive(next as usize) {
-                // The precomputed route runs into a node that died after
-                // the route was computed.
-                match self.config.fault_response {
-                    FaultResponse::Drop => {
-                        self.dropped_at[id] = stamp;
-                        self.dropped += 1;
-                        self.release_slot(id);
-                        continue;
-                    }
-                    FaultResponse::RerouteAdaptive => {
-                        let target = self.path_data[self.path_end[id] as usize - 1] as usize;
-                        if !self.is_alive(target) || !self.reroute_packet(id, target) {
-                            self.dropped_at[id] = stamp;
-                            self.dropped += 1;
-                            self.release_slot(id);
-                            continue;
-                        }
-                        if self.cursor[id] + 1 == self.path_end[id] {
-                            // The oblivious route revisited the target and
-                            // the packet was sitting on it: the re-route is
-                            // the empty path, so it is already delivered.
-                            self.delivered_at[id] = stamp;
-                            self.delivered += 1;
-                            self.release_slot(id);
-                            continue;
-                        }
-                        // Rerouted this cycle; it may move next cycle.
-                        self.live[write] = id as u32;
-                        write += 1;
-                        continue;
-                    }
-                }
+        // Examine the queued packets in ascending id order (= age order),
+        // clearing each bitmap word as it is consumed; survivors set their
+        // bit in the next-cycle bitmap, which is all-zero on entry.
+        for wi in 0..self.queued_now.len() {
+            let mut word = self.queued_now[wi];
+            if word == 0 {
+                continue;
             }
-            let port_free = !single_port || self.node_claim[here] != stamp;
-            let slot = self
-                .edge_slot(here, next)
-                .expect("loaded paths only traverse physical links");
-            let credit_free = !credit_based || self.credits[slot] > 0;
-            if port_free && credit_free && self.link_claim[slot] != stamp {
-                // Claim and move.
-                self.link_claim[slot] = stamp;
-                if single_port {
-                    self.node_claim[here] = stamp;
-                }
-                if credit_based {
-                    // Take a slot downstream; the slot vacated upstream
-                    // returns to its link one cycle from now.
-                    self.credits[slot] -= 1;
-                    let prev = self.occupied_slot[id];
-                    if prev != NO_SLOT {
-                        self.return_credit(prev);
-                    }
-                    self.occupied_slot[id] = slot as u32;
-                }
-                self.link_flits[slot] += 1;
-                self.total_flits += 1;
-                moved += 1;
-                self.cursor[id] = (at + 1) as u32;
-                if self.cursor[id] + 1 == self.path_end[id] {
-                    // Consumed at the target: the just-taken slot drains
-                    // too (its credit also returns next cycle).
-                    self.delivered_at[id] = stamp;
-                    self.delivered += 1;
-                    self.release_slot(id);
+            self.queued_now[wi] = 0;
+            let base = wi << 6;
+            while word != 0 {
+                let id = base + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let at = self.cursor[id];
+                if at == NEVER {
+                    // Resolved while queued (fault kill, re-target): skip.
                     continue;
                 }
+                let at = at as usize;
+                if hazard {
+                    let next = pk_node(self.path[at + 1]);
+                    if self.dead[next] {
+                        // The precomputed route runs into a node that died
+                        // after the route was computed.
+                        match self.config.fault_response {
+                            FaultResponse::Drop => {
+                                self.resolve_dropped(id, stamp);
+                                continue;
+                            }
+                            FaultResponse::RerouteAdaptive => {
+                                let target = pk_node(self.path[self.path_end[id] as usize - 1]);
+                                if !self.is_alive(target) || !self.reroute_packet(id, target) {
+                                    self.resolve_dropped(id, stamp);
+                                    continue;
+                                }
+                                if self.cursor[id] + 1 == self.path_end[id] {
+                                    // The oblivious route revisited the target
+                                    // and the packet was sitting on it: the
+                                    // re-route is the empty path, so it is
+                                    // already delivered.
+                                    self.resolve_delivered(id, stamp);
+                                    continue;
+                                }
+                                // Rerouted this cycle; it may move next cycle.
+                                self.queued_next[wi] |= 1u64 << (id & 63);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let entry = self.path[at];
+                let here = pk_node(entry);
+                let slot = pk_slot(entry) as usize;
+                let port_free = !single_port || self.node_claim[here] != stamp;
+                let gate = self.links[slot];
+                let credit_free = !credit_based || gate.credits > 0;
+                if port_free && credit_free && gate.claim != stamp {
+                    // Claim and move.
+                    self.links[slot].claim = stamp;
+                    if single_port {
+                        self.node_claim[here] = stamp;
+                    }
+                    if credit_based {
+                        // Take a slot downstream; the slot vacated upstream
+                        // returns to its link one cycle from now.
+                        self.links[slot].credits -= 1;
+                        let prev = self.occupied_slot[id];
+                        if prev != NO_SLOT {
+                            self.return_credit(prev);
+                        }
+                        self.occupied_slot[id] = slot as u32;
+                    }
+                    if park {
+                        // Whoever queues behind this move wakes when the claim
+                        // expires, at the start of the next cycle.
+                        self.served_slots.push(slot as u32);
+                    }
+                    self.link_flits[slot] += 1;
+                    self.total_flits += 1;
+                    moved += 1;
+                    self.cursor[id] = (at + 1) as u32;
+                    if entry & DELIVERS != 0 {
+                        // Consumed at the target: the just-taken slot drains
+                        // too (its credit also returns next cycle).
+                        self.resolve_delivered(id, stamp);
+                    } else {
+                        self.queued_next[wi] |= 1u64 << (id & 63);
+                    }
+                } else if park
+                    && (!credit_free || (gate.claim == stamp && self.blocked_head[slot] != NONE_ID))
+                {
+                    // Blocked on the slot itself: zero credits (which only
+                    // return at a cycle boundary), or a link claim lost while
+                    // the slot already has a queue. Everyone queued on a slot
+                    // sits in the same upstream node and shares the same port,
+                    // link claim and credit counter, so parking is exact: the
+                    // sorted queue's head is woken by the credit return or the
+                    // served-slot claim expiry, and nothing behind the head
+                    // could have moved anyway. A claim loser finding an empty
+                    // queue just retries — a one-cycle wait is cheaper as a
+                    // rescan than as a park/wake round trip, and long waits
+                    // seed queues through the credit counter first.
+                    self.park_on_slot(id, slot);
+                } else {
+                    // Blocked on the node's output port alone (`SinglePort`,
+                    // port taken by a packet leaving over a different link) —
+                    // or running the naive rescan: re-examine next cycle, when
+                    // the per-cycle claims expire.
+                    self.queued_next[wi] |= 1u64 << (id & 63);
+                }
             }
-            self.live[write] = id as u32;
-            write += 1;
         }
-        self.live.truncate(write);
+        std::mem::swap(&mut self.queued_now, &mut self.queued_next);
         self.cycle += 1;
         CycleEvents {
             cycle: stamp,
@@ -912,7 +1264,7 @@ impl CongestionSim {
             injected,
             credits_applied,
             faults_fired,
-            live: self.live.len() as u64,
+            live: self.in_flight,
             pending_injections: (self.pending_inject.len() - self.inject_pos) as u64,
         }
     }
@@ -925,14 +1277,14 @@ impl CongestionSim {
     /// The per-cycle loop performs no allocation.
     pub fn run_until(&mut self, horizon: u32) {
         let horizon = horizon.min(self.config.max_cycles);
-        while (!self.live.is_empty() || self.inject_pos < self.pending_inject.len())
+        while (self.in_flight > 0 || self.inject_pos < self.pending_inject.len())
             && self.cycle < horizon
         {
             let events = self.step();
             if events.moved == 0
                 && events.injected == 0
                 && events.faults_fired == 0
-                && !self.live.is_empty()
+                && self.in_flight > 0
                 && self.pending_slots.is_empty()
                 && self.inject_pos >= self.pending_inject.len()
                 && self.schedule_pos >= self.schedule.len()
@@ -945,7 +1297,7 @@ impl CongestionSim {
 
     /// Steps until the workload drains, `max_cycles` is hit, or the network
     /// hard-deadlocks. The per-cycle loop performs no allocation (the final
-    /// report does; see [`CongestionSim::run`]).
+    /// report does on first use; see [`CongestionSim::run`]).
     pub fn run_to_quiescence(&mut self) {
         self.run_until(self.config.max_cycles);
     }
@@ -957,25 +1309,55 @@ impl CongestionSim {
         self.report()
     }
 
+    /// Sorts the latencies recorded since the last call and merges them
+    /// into the sorted prefix through a reused scratch buffer: repeated
+    /// (windowed) report calls pay O(new log new + n) instead of
+    /// re-collecting and sorting everything.
+    fn ensure_latencies_sorted(&mut self) {
+        let n = self.latencies.len();
+        if self.lat_sorted == n {
+            return;
+        }
+        self.latencies[self.lat_sorted..].sort_unstable();
+        if self.lat_sorted > 0 {
+            self.lat_scratch.clear();
+            self.lat_scratch.reserve(n);
+            {
+                let (head, tail) = self.latencies.split_at(self.lat_sorted);
+                let (mut i, mut j) = (0, 0);
+                while i < head.len() && j < tail.len() {
+                    if head[i] <= tail[j] {
+                        self.lat_scratch.push(head[i]);
+                        i += 1;
+                    } else {
+                        self.lat_scratch.push(tail[j]);
+                        j += 1;
+                    }
+                }
+                self.lat_scratch.extend_from_slice(&head[i..]);
+                self.lat_scratch.extend_from_slice(&tail[j..]);
+            }
+            std::mem::swap(&mut self.latencies, &mut self.lat_scratch);
+        }
+        self.lat_sorted = self.latencies.len();
+    }
+
     /// The report for the run so far. Latencies are measured from each
-    /// packet's injection cycle (which is 0 for the batch `load_*` APIs).
-    pub fn report(&self) -> CongestionReport {
-        let mut latencies: Vec<u32> = self
-            .delivered_at
-            .iter()
-            .zip(&self.inject_at)
-            .filter(|(&d, _)| d != NEVER)
-            .map(|(&d, &i)| d - i)
-            .collect();
+    /// packet's injection cycle (which is 0 for the batch `load_*` APIs)
+    /// and maintained incrementally at delivery time; `&mut self` lets the
+    /// summary reuse the engine's sorted-merge scratch instead of
+    /// rebuilding and re-sorting the full vector per call.
+    pub fn report(&mut self) -> CongestionReport {
+        self.ensure_latencies_sorted();
         CongestionReport {
             cycles: self.cycle,
             injected: self.path_start.len() as u64,
             delivered: self.delivered,
             dropped: self.dropped,
             total_flits: self.total_flits,
-            completed: self.live.is_empty() && self.inject_pos >= self.pending_inject.len(),
+            completed: self.in_flight == 0 && self.inject_pos >= self.pending_inject.len(),
             deadlocked: self.deadlocked,
-            latency: LatencySummary::from_latencies(&mut latencies),
+            latency: LatencySummary::from_sorted(&self.latencies),
         }
     }
 
@@ -1017,49 +1399,40 @@ impl CongestionSim {
         self.link_flits.iter().copied().max().unwrap_or(0)
     }
 
-    /// Rewinds the engine to the post-load state — same packets, same fault
-    /// schedule, cycle 0 — without touching the allocator, so a warmed
-    /// engine can be re-run for benchmarking (`perf_report`) and for the
-    /// counting-allocator harness.
-    pub fn reset(&mut self) {
-        self.path_data.truncate(self.loaded_path_len as usize);
-        self.live.clear();
+    /// Rewinds all cycle-clock state (claims, credits, queues, metrics,
+    /// dynamic deaths) to the pre-run zero without touching the packet
+    /// table. Shared by [`CongestionSim::reset`] and
+    /// [`CongestionSim::clear_workload`].
+    fn rewind_cycle_state(&mut self) {
+        for w in &mut self.queued_now {
+            *w = 0;
+        }
+        for w in &mut self.queued_next {
+            *w = 0;
+        }
+        self.latencies.clear();
+        self.lat_sorted = 0;
         self.delivered = 0;
         self.dropped = 0;
-        for id in 0..self.path_start.len() {
-            // Restore the load-time route segment: a mid-run re-route
-            // repointed this packet at a spill region that the truncation
-            // above just reclaimed.
-            self.path_start[id] = self.home_start[id];
-            self.path_end[id] = self.home_end[id];
-            self.cursor[id] = self.path_start[id];
-            self.occupied_slot[id] = NO_SLOT;
-            if self.resolved_at_load[id] == NEVER {
-                self.delivered_at[id] = NEVER;
-                self.dropped_at[id] = NEVER;
-                if self.inject_at[id] == 0 {
-                    self.live.push(id as u32);
-                }
-                // Timed packets re-enter through `pending_inject` (below).
-            } else if self.delivered_at[id] != NEVER {
-                // Load-time outcomes (zero-hop delivery, infeasible-route
-                // drop) were never overwritten by the run; re-count them.
-                self.delivered_at[id] = self.resolved_at_load[id];
-                self.delivered += 1;
-            } else {
-                self.dropped_at[id] = self.resolved_at_load[id];
-                self.dropped += 1;
-            }
-        }
+        self.in_flight = 0;
         self.inject_pos = 0;
         self.deadlocked = false;
-        for c in &mut self.credits {
-            *c = self.flow_depth;
+        let depth = self.flow_depth;
+        for gate in &mut self.links {
+            gate.claim = NEVER;
+            gate.credits = depth;
         }
         for p in &mut self.pending_credit {
             *p = 0;
         }
         self.pending_slots.clear();
+        for h in &mut self.blocked_head {
+            *h = NONE_ID;
+        }
+        for t in &mut self.blocked_tail {
+            *t = NONE_ID;
+        }
+        self.served_slots.clear();
         for &d in &self.dead_list {
             self.dead[d as usize] = false;
         }
@@ -1070,12 +1443,79 @@ impl CongestionSim {
         for f in &mut self.link_flits {
             *f = 0;
         }
-        for c in &mut self.link_claim {
-            *c = NEVER;
-        }
         for c in &mut self.node_claim {
             *c = NEVER;
         }
+    }
+
+    /// Rewinds the engine to the post-load state — same packets, same fault
+    /// schedule, cycle 0 — without touching the allocator, so a warmed
+    /// engine can be re-run for benchmarking (`perf_report`) and for the
+    /// counting-allocator harness.
+    pub fn reset(&mut self) {
+        self.path.truncate(self.loaded_path_len as usize);
+        self.rewind_cycle_state();
+        for id in 0..self.path_start.len() {
+            // Restore the load-time route segment: a mid-run re-route
+            // repointed this packet at a spill region that the truncation
+            // above just reclaimed.
+            self.path_start[id] = self.home_start[id];
+            self.path_end[id] = self.home_end[id];
+            self.cursor[id] = self.path_start[id];
+            self.occupied_slot[id] = NO_SLOT;
+            self.in_network[id] = false;
+            if self.resolved_at_load[id] == NEVER {
+                self.delivered_at[id] = NEVER;
+                self.dropped_at[id] = NEVER;
+                if self.inject_at[id] == 0 {
+                    self.queue_now(id);
+                    self.in_network[id] = true;
+                    self.in_flight += 1;
+                }
+                // Timed packets re-enter through `pending_inject`.
+            } else if self.delivered_at[id] != NEVER {
+                // Load-time outcomes (zero-hop delivery, infeasible-route
+                // drop) were never overwritten by the run; re-count them.
+                self.delivered_at[id] = self.resolved_at_load[id];
+                self.delivered += 1;
+                self.latencies.push(0);
+            } else {
+                self.dropped_at[id] = self.resolved_at_load[id];
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Discards the loaded workload and fault schedule entirely — keeping
+    /// the machine, the flow-control state and every buffer's capacity —
+    /// so one warmed engine can `load_*` and run many different workloads
+    /// (the parallel sweep harness keeps one engine per worker).
+    pub fn clear_workload(&mut self) {
+        self.rewind_cycle_state();
+        self.path.clear();
+        for v in [
+            &mut self.path_start,
+            &mut self.path_end,
+            &mut self.home_start,
+            &mut self.home_end,
+            &mut self.cursor,
+            &mut self.logical_target,
+            &mut self.inject_at,
+            &mut self.occupied_slot,
+            &mut self.blocked_next,
+            &mut self.delivered_at,
+            &mut self.dropped_at,
+            &mut self.resolved_at_load,
+            &mut self.pending_inject,
+        ] {
+            v.clear();
+        }
+        self.in_network.clear();
+        self.queued_now.clear();
+        self.queued_next.clear();
+        self.schedule.clear();
+        self.open_loop_sources = 0;
+        self.loaded_path_len = 0;
     }
 }
 
@@ -1973,6 +2413,118 @@ mod tests {
         assert_eq!(report.delivered + report.dropped, n as u64);
         sim.check_credit_conservation()
             .expect("post-run conservation");
+    }
+
+    #[test]
+    fn naive_scan_and_wake_list_agree_on_canned_scenarios() {
+        // The heavyweight randomized differential suite lives in
+        // tests/tests/wakelist_differential.rs; this smoke pins the three
+        // behaviours most likely to diverge: deadlock detection, mid-run
+        // fault reroutes under credits, and open-loop timed injection.
+        let db = DeBruijn2::new(5);
+        let n = db.node_count();
+        type Scenario = (CongestionConfig, Vec<(usize, usize)>, Vec<(u32, usize)>);
+        let scenarios: Vec<Scenario> = vec![
+            (credit_config(1), workload::all_to_one(n, 2), vec![]),
+            (
+                CongestionConfig {
+                    fault_response: FaultResponse::RerouteAdaptive,
+                    flow_control: FlowControl::CreditBased { buffer_depth: 2 },
+                    ..CongestionConfig::default()
+                },
+                workload::uniform_pairs(n, 4 * n, &mut rand::rngs::StdRng::seed_from_u64(17)),
+                vec![(3, 1), (5, 9)],
+            ),
+            (
+                CongestionConfig::default(),
+                workload::bit_reversal_pairs(5),
+                vec![(2, 7)],
+            ),
+        ];
+        for (config, pairs, faults) in scenarios {
+            let mut outcomes = Vec::new();
+            for engine in [EngineKind::WakeList, EngineKind::NaiveScan] {
+                let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+                let mut sim = CongestionSim::new(machine, CongestionConfig { engine, ..config });
+                sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+                for &(cycle, node) in &faults {
+                    sim.schedule_fault(cycle, node);
+                }
+                let report = sim.run();
+                outcomes.push((report, sim.link_loads(), sim.counts()));
+            }
+            assert_eq!(outcomes[0], outcomes[1], "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn clear_workload_reuses_the_engine_for_fresh_loads() {
+        // One warmed engine cycling through different workloads (the
+        // parallel sweep harness' per-worker reuse) must reproduce what a
+        // freshly constructed engine reports for each of them.
+        let db = DeBruijn2::new(4);
+        let n = db.node_count();
+        let spec_a = open_spec(0.3, 5);
+        let spec_b = open_spec(0.6, 9);
+        let fresh = |spec: &workload::OpenLoopSpec| {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            run_open_loop(
+                &db,
+                &Embedding::identity(n),
+                machine,
+                credit_config(2),
+                spec,
+            )
+        };
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(machine, credit_config(2));
+        for spec in [&spec_a, &spec_b, &spec_a] {
+            sim.clear_workload();
+            let injections = workload::open_loop_injections(n, spec);
+            sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+            assert_eq!(measure_open_loop(&mut sim, spec), fresh(spec));
+        }
+        // A batch load with a fault schedule after an open-loop load: the
+        // schedule and dynamic deaths must have been fully cleared too.
+        sim.clear_workload();
+        sim.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, 2));
+        sim.schedule_fault(2, 1);
+        let reused = sim.run();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut reference = CongestionSim::new(machine, credit_config(2));
+        reference.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, 2));
+        reference.schedule_fault(2, 1);
+        assert_eq!(reused, reference.run());
+    }
+
+    #[test]
+    fn repeated_reports_stay_consistent_while_stepping() {
+        // report() merges incrementally-recorded latencies; interleaving it
+        // with stepping must never disturb the final summary.
+        let (db, mut sim) = healthy_sim(4, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let pairs = workload::uniform_pairs(n, 3 * n, &mut rng);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        let mut windowed = Vec::new();
+        loop {
+            let events = sim.step();
+            windowed.push(sim.report());
+            if events.is_idle() {
+                break;
+            }
+        }
+        let final_windowed = windowed.last().expect("at least one cycle").clone();
+        assert_eq!(final_windowed, sim.report());
+        // And the windowed reports agree with a single-report reference run.
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut reference = CongestionSim::new(machine, CongestionConfig::default());
+        reference.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        assert_eq!(reference.run(), final_windowed);
+        // Delivered counts in the windows are non-decreasing.
+        assert!(windowed
+            .windows(2)
+            .all(|w| w[0].delivered <= w[1].delivered));
     }
 
     #[test]

@@ -111,10 +111,22 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// Summarises a set of latencies. The slice is sorted in place.
     pub fn from_latencies(latencies: &mut [u32]) -> Self {
+        latencies.sort_unstable();
+        Self::from_sorted(latencies)
+    }
+
+    /// Summarises an already-sorted set of latencies without re-sorting —
+    /// the congestion engine keeps its delivered latencies incrementally
+    /// merge-sorted, so repeated (windowed) reports skip the O(n log n)
+    /// pass entirely.
+    pub fn from_sorted(latencies: &[u32]) -> Self {
+        debug_assert!(
+            latencies.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires sorted input"
+        );
         if latencies.is_empty() {
             return LatencySummary::default();
         }
-        latencies.sort_unstable();
         let count = latencies.len() as u64;
         let total: u64 = latencies.iter().map(|&l| l as u64).sum();
         // Nearest-rank percentiles: index ⌈q·n⌉ - 1 on the sorted data.

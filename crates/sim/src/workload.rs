@@ -102,9 +102,23 @@ impl OpenLoopSpec {
 /// latency-vs-load comparisons (and the monotonicity property test)
 /// well-posed.
 pub fn open_loop_injections(n: usize, spec: &OpenLoopSpec) -> Vec<(u32, NodeId, NodeId)> {
+    let mut schedule = Vec::new();
+    open_loop_injections_into(n, spec, &mut schedule);
+    schedule
+}
+
+/// Buffer-reusing form of [`open_loop_injections`]: writes the schedule
+/// into `out` (cleared first), so sweep drivers generating one schedule per
+/// sweep point amortise the allocation across the whole sweep.
+pub fn open_loop_injections_into(
+    n: usize,
+    spec: &OpenLoopSpec,
+    out: &mut Vec<(u32, NodeId, NodeId)>,
+) {
     assert!(spec.offered_load > 0.0, "offered load must be positive");
     let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
-    let mut schedule = Vec::new();
+    let schedule = out;
+    schedule.clear();
     match spec.process {
         InjectionProcess::Bernoulli => {
             for cycle in 0..spec.injection_cycles() {
@@ -129,7 +143,6 @@ pub fn open_loop_injections(n: usize, spec: &OpenLoopSpec) -> Vec<(u32, NodeId, 
             }
         }
     }
-    schedule
 }
 
 /// Per-node initial values for the Ascend/Descend computations: the node

@@ -11,11 +11,13 @@
 //!
 //! Run with (defaults shown):
 //! ```text
-//! cargo run -p ftdb-examples --bin load_sweep -- 8
+//! cargo run -p ftdb-examples --bin load_sweep -- 8 [threads]
 //! ```
-//! where the argument is `h` (logical network size `2^h`).
+//! where the arguments are `h` (logical network size `2^h`) and the
+//! worker count for the parallel sweep harness (default: the machine's
+//! available parallelism; the output is byte-identical for any value).
 
-use ftdb_analysis::sim_experiments::{render_sim5, sim5_load_sweep, SweepScenario};
+use ftdb_analysis::sim_experiments::{render_sim5, sim5_load_sweep_parallel, SweepScenario};
 use ftdb_sim::congestion::FlowControl;
 use ftdb_sim::machine::PortModel;
 
@@ -28,6 +30,20 @@ fn main() {
     );
     let mut args = std::env::args().skip(1);
     let h: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    // A malformed threads argument is a hard error, matching the
+    // `--threads` validation of the experiments/perf_report binaries —
+    // silently falling back would only show up as surprising wall-clock.
+    let threads: usize = match args.next() {
+        Some(raw) => match raw.parse() {
+            Ok(t) if t >= 1 => t,
+            _ => {
+                eprintln!("load_sweep: threads must be a positive integer, got {raw:?}");
+                eprintln!("usage: load_sweep [h] [threads]");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    };
     let seed = 0xF7DB;
     let loads = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 0.95];
 
@@ -54,7 +70,7 @@ fn main() {
             port: PortModel::MultiPort,
             flow,
         };
-        let points = sim5_load_sweep(&scenario, &loads, seed);
+        let points = sim5_load_sweep_parallel(&scenario, &loads, seed, threads);
         let title = format!("faulted B^1(2,{h}) (1 fault, reconfigured), multi-port, {label}");
         println!("{}", render_sim5(title, &points).render());
         let peak = points.iter().map(|p| p.throughput).fold(0.0, f64::max);
