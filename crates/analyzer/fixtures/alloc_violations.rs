@@ -1,0 +1,17 @@
+// Seeded-violation fixture: allocation discipline inside an annotated
+// function; the unannotated sibling below it stays silent.
+
+// analyzer: alloc-free
+pub fn kernel(out: &mut Vec<u64>, n: u64) {
+    let mut scratch = Vec::new();
+    scratch.push(n);
+    out.push(n);
+    let s = format!("{n}");
+    let t = s.clone();
+    let b = Box::new(n);
+    out.extend([*b + t.len() as u64]);
+}
+
+pub fn cold(out: &mut Vec<u64>, n: u64) {
+    out.push(n);
+}

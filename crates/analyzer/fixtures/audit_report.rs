@@ -1,0 +1,12 @@
+// Fixture: report struct for the differential-coverage audit tests.
+
+/// A miniature report with one deliberately uncovered public field.
+pub struct MiniReport {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Delivered packets.
+    pub delivered: u64,
+    /// Dropped packets — never compared in `audit_suite.rs`.
+    pub dropped: u64,
+    scratch: u64,
+}

@@ -1,0 +1,8 @@
+// Fixture: differential suite covering only some MiniReport fields.
+// `dropped` appears in this comment and in the string below, neither of
+// which may count as coverage.
+
+pub fn compare(a: &MiniReport, b: &MiniReport) {
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.delivered, b.delivered, "dropped from comparison");
+}

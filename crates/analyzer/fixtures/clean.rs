@@ -1,0 +1,18 @@
+// Fixture: a hot-path-style file that passes every rule family — an
+// alloc-free kernel that only mutates in place, and a justified allow
+// that actually suppresses something.
+
+// analyzer: alloc-free
+pub fn kernel(out: &mut [u64], n: u64) -> u64 {
+    let mut acc = 0u64;
+    for slot in out.iter_mut() {
+        *slot = slot.wrapping_add(n);
+        acc = acc.wrapping_add(*slot);
+    }
+    acc
+}
+
+pub fn guarded(flag: Option<u32>) -> u32 {
+    // analyzer: allow(unwrap) -- the caller checked is_some() immediately above
+    flag.unwrap()
+}

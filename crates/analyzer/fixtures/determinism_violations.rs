@@ -1,0 +1,13 @@
+// Seeded-violation fixture: every determinism rule fires.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stats(xs: &[f64]) -> bool {
+    let mut seen = HashMap::new();
+    seen.insert(xs.len() as u64, 1u64);
+    let started = Instant::now();
+    let mut rng = rand::thread_rng();
+    let _ = (started, &mut rng, seen);
+    xs[0] == 0.25
+}

@@ -1,0 +1,26 @@
+// Seeded-violation fixture: every panic-family rule fires exactly once.
+// Scanned only by the analyzer's own tests, never by the workspace gate.
+
+pub fn hot(xs: &[u32], flag: Option<u32>) -> u32 {
+    let a = flag.unwrap();
+    let b = flag.expect("must be set");
+    if xs.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => {}
+    }
+    xs[0] + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        Some(1u32).unwrap();
+        panic!("not a finding");
+    }
+}

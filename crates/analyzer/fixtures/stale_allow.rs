@@ -1,0 +1,15 @@
+// Seeded-violation fixture: allowlist hygiene. A stale allow, an allow
+// naming a rule that does not exist, and an allow with no justification
+// (which therefore suppresses nothing, so the unwrap still fires).
+
+pub fn fine(flag: Option<u32>) -> u32 {
+    // analyzer: allow(unwrap) -- nothing below actually unwraps
+    flag.map_or(0, |v| v + 1)
+}
+
+// analyzer: allow(frobnicate) -- no such rule
+pub fn noisy() {}
+
+pub fn undocumented(flag: Option<u32>) -> u32 {
+    flag.unwrap() // analyzer: allow(unwrap)
+}

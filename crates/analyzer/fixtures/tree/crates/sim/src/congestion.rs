@@ -1,0 +1,17 @@
+// Seeded mini-workspace for CLI exit-code tests: a hot-path file with a
+// panic and determinism violations, plus a report struct whose
+// differential suite is absent entirely.
+
+use std::collections::HashSet;
+
+/// The report struct the committed audit looks for.
+pub struct CongestionReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+pub fn step(q: &[u64]) -> u64 {
+    let head = q.last().unwrap();
+    let _ = HashSet::<u64>::new();
+    *head
+}

@@ -1,0 +1,426 @@
+//! Per-file analysis: runs the rule scanners over masked source, applies
+//! `// analyzer:` directives, and reports findings.
+//!
+//! ## Directive syntax
+//!
+//! * `// analyzer: alloc-free` — on its own line immediately above a `fn`
+//!   (attributes and doc comments may intervene): the function's body must
+//!   not contain any allocating call ([`crate::rules::alloc_hits`]).
+//! * `// analyzer: allow(<rule>[, <rule>...]) -- <justification>` — trailing
+//!   on the violating line, or on its own line immediately above it:
+//!   suppresses findings of the named rule(s) on that line. The
+//!   justification is mandatory, and an allow that suppresses nothing is
+//!   itself an error (`stale-allow`), so the allowlist cannot rot.
+//!
+//! Code inside `#[cfg(test)]` items is exempt from all rules: tests may
+//! unwrap, allocate, and compare floats — the gate protects shipped hot
+//! paths, not assertions about them.
+
+use crate::lexer::{is_ident_char, mask, MaskedLine};
+use crate::rules::{self, RuleId, RuleSet};
+
+/// One diagnostic: a rule violation (or a directive problem) at a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that produced the finding.
+    pub rule: RuleId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// A parsed `allow` directive and its suppression bookkeeping.
+#[derive(Debug)]
+struct Allow {
+    directive_line: usize,
+    target_line: usize,
+    rule: RuleId,
+    used: bool,
+}
+
+/// Analyzes one file's source text under `set`, returning its findings
+/// sorted by line.
+pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
+    let lines = mask(source);
+    let exempt = test_exempt_lines(&lines);
+    let mut findings = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut alloc_spans: Vec<(usize, usize)> = Vec::new();
+
+    // Pass 1: directives.
+    for (idx, line) in lines.iter().enumerate() {
+        if exempt[idx] {
+            continue;
+        }
+        let comment = match &line.comment {
+            Some(c) => c.trim(),
+            None => continue,
+        };
+        let body = match comment.strip_prefix("analyzer:") {
+            Some(b) => b.trim(),
+            None => continue,
+        };
+        let lineno = idx + 1;
+        if body == "alloc-free" {
+            if !line.code.trim().is_empty() {
+                findings.push(bad_directive(
+                    file,
+                    lineno,
+                    "`alloc-free` must be on its own line above the function it annotates",
+                ));
+            } else {
+                match alloc_span(&lines, idx) {
+                    Some(span) => alloc_spans.push(span),
+                    None => findings.push(bad_directive(
+                        file,
+                        lineno,
+                        "`alloc-free` is not followed by a function",
+                    )),
+                }
+            }
+        } else if let Some(rest) = body.strip_prefix("allow(") {
+            match parse_allow(rest) {
+                Ok((rule_names, _justification)) => {
+                    let target = if line.code.trim().is_empty() {
+                        next_code_line(&lines, idx)
+                    } else {
+                        Some(lineno)
+                    };
+                    let Some(target_line) = target else {
+                        findings.push(bad_directive(
+                            file,
+                            lineno,
+                            "`allow` has no following code line to apply to",
+                        ));
+                        continue;
+                    };
+                    for name in rule_names {
+                        match RuleId::from_name(&name) {
+                            Some(rule) => allows.push(Allow {
+                                directive_line: lineno,
+                                target_line,
+                                rule,
+                                used: false,
+                            }),
+                            None => findings.push(bad_directive(
+                                file,
+                                lineno,
+                                &format!("unknown rule `{name}` in `allow(..)`"),
+                            )),
+                        }
+                    }
+                }
+                Err(msg) => findings.push(bad_directive(file, lineno, msg)),
+            }
+        } else {
+            findings.push(bad_directive(
+                file,
+                lineno,
+                &format!("unknown directive `analyzer: {body}`"),
+            ));
+        }
+    }
+
+    // Pass 2: rules.
+    let mut hits = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if exempt[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        hits.clear();
+        if set.panic_free {
+            rules::panic_hits(&line.code, &mut hits);
+        }
+        if set.determinism {
+            rules::determinism_hits(&line.code, &mut hits);
+        }
+        if alloc_spans.iter().any(|&(s, e)| lineno >= s && lineno <= e) {
+            rules::alloc_hits(&line.code, &mut hits);
+        }
+        'hit: for hit in hits.drain(..) {
+            for allow in allows.iter_mut() {
+                if allow.target_line == lineno && allow.rule == hit.rule {
+                    allow.used = true;
+                    continue 'hit;
+                }
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: hit.rule,
+                message: hit.message,
+            });
+        }
+    }
+
+    // Pass 3: allowlist staleness.
+    for allow in &allows {
+        if !allow.used {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: allow.directive_line,
+                rule: RuleId::StaleAllow,
+                message: format!(
+                    "`allow({})` suppresses nothing on line {}; remove it",
+                    allow.rule.name(),
+                    allow.target_line
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+fn bad_directive(file: &str, line: usize, msg: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: RuleId::BadDirective,
+        message: msg.to_string(),
+    }
+}
+
+/// Parses the tail of `allow(` — `rule[, rule]) -- justification` — into
+/// rule names, requiring a non-empty justification.
+fn parse_allow(rest: &str) -> Result<(Vec<String>, String), &'static str> {
+    let close = rest
+        .find(')')
+        .ok_or("`allow(` is missing its closing `)`")?;
+    let names: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err("`allow()` names no rule");
+    }
+    let after = rest[close + 1..].trim();
+    let justification = after
+        .strip_prefix("--")
+        .map(str::trim)
+        .ok_or("`allow(..)` needs a ` -- <justification>`")?;
+    if justification.is_empty() {
+        return Err("`allow(..)` has an empty justification");
+    }
+    Ok((names, justification.to_string()))
+}
+
+/// The next 1-based line after `idx` whose masked code is non-empty.
+fn next_code_line(lines: &[MaskedLine], idx: usize) -> Option<usize> {
+    lines[idx + 1..]
+        .iter()
+        .position(|l| !l.code.trim().is_empty())
+        .map(|rel| idx + 1 + rel + 1)
+}
+
+/// Resolves an `alloc-free` annotation at line index `idx` to the 1-based
+/// inclusive body span of the next function.
+fn alloc_span(lines: &[MaskedLine], idx: usize) -> Option<(usize, usize)> {
+    // Find the `fn` line (skipping attributes/doc lines), within a small
+    // window so a detached annotation is an error rather than silently
+    // latching onto distant code.
+    let mut fn_idx = None;
+    for (j, line) in lines.iter().enumerate().skip(idx + 1).take(16) {
+        let code = line.code.trim();
+        if code.is_empty() || code.starts_with("#[") {
+            continue;
+        }
+        if has_fn_keyword(&line.code) {
+            fn_idx = Some(j);
+            break;
+        }
+        return None;
+    }
+    let fn_idx = fn_idx?;
+    // Brace-match from the `fn` keyword to the end of the body.
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(fn_idx) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return Some((fn_idx + 1, j + 1));
+                    }
+                }
+                // A trait-style signature (`fn f();`) before any `{` has no
+                // body to check.
+                ';' if !opened && depth == 0 => return Some((fn_idx + 1, j + 1)),
+                _ => {}
+            }
+        }
+    }
+    opened.then_some((fn_idx + 1, lines.len()))
+}
+
+fn has_fn_keyword(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + 2..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            return true;
+        }
+        from = at + 2;
+    }
+    false
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items (normally the trailing
+/// `mod tests { ... }`) as rule-exempt.
+fn test_exempt_lines(lines: &[MaskedLine]) -> Vec<bool> {
+    let mut exempt = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Walk to the end of the annotated item: either a braced body or a
+        // `;`-terminated item, whichever closes first.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut end = lines.len() - 1;
+        'outer: for (j, line) in lines.iter().enumerate().skip(i) {
+            // Skip past the attribute itself so its own brackets don't
+            // confuse the count.
+            let code: &str = if j == i {
+                let at = line.code.find("#[cfg(test)]").unwrap_or(0);
+                &line.code[at + "#[cfg(test)]".len()..]
+            } else {
+                &line.code
+            };
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => {
+                        end = j;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for flag in exempt.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    exempt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PANIC_SET: RuleSet = RuleSet {
+        panic_free: true,
+        determinism: false,
+    };
+
+    fn rules_of(findings: &[Finding]) -> Vec<(usize, RuleId)> {
+        findings.iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn findings_carry_file_line_and_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = analyze_source("m.rs", src, PANIC_SET);
+        assert_eq!(rules_of(&f), vec![(2, RuleId::Unwrap)]);
+        assert_eq!(
+            f[0].to_string(),
+            format!("m.rs:2: [unwrap] {}", f[0].message)
+        );
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_is_not_stale() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyzer: allow(unwrap) -- checked by caller\n}\n";
+        assert!(analyze_source("m.rs", src, PANIC_SET).is_empty());
+    }
+
+    #[test]
+    fn own_line_allow_applies_to_next_code_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // analyzer: allow(unwrap) -- checked by caller\n    x.unwrap()\n}\n";
+        assert!(analyze_source("m.rs", src, PANIC_SET).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_a_finding() {
+        let src = "fn f() {\n    // analyzer: allow(unwrap) -- nothing here\n    let y = 1;\n}\n";
+        let f = analyze_source("m.rs", src, PANIC_SET);
+        assert_eq!(rules_of(&f), vec![(2, RuleId::StaleAllow)]);
+    }
+
+    #[test]
+    fn allow_requires_known_rule_and_justification() {
+        let src = "fn f() {\n    // analyzer: allow(frobnicate) -- x\n    let y = 1;\n    // analyzer: allow(unwrap)\n    let z = 2;\n}\n";
+        let f = analyze_source("m.rs", src, PANIC_SET);
+        assert_eq!(
+            rules_of(&f),
+            vec![(2, RuleId::BadDirective), (4, RuleId::BadDirective)]
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn f() -> u32 {\n    1\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
+        assert!(analyze_source("m.rs", src, PANIC_SET).is_empty());
+    }
+
+    #[test]
+    fn alloc_free_annotation_checks_the_next_fn_body() {
+        let src = "// analyzer: alloc-free\n#[inline]\nfn hot(buf: &mut Vec<u32>) {\n    buf.push(1);\n}\n\nfn cold(buf: &mut Vec<u32>) {\n    buf.push(2);\n}\n";
+        let f = analyze_source("m.rs", src, RuleSet::default());
+        assert_eq!(rules_of(&f), vec![(4, RuleId::Alloc)]);
+    }
+
+    #[test]
+    fn detached_alloc_free_is_a_bad_directive() {
+        let src = "// analyzer: alloc-free\nconst X: u32 = 1;\n";
+        let f = analyze_source("m.rs", src, RuleSet::default());
+        assert_eq!(rules_of(&f), vec![(1, RuleId::BadDirective)]);
+    }
+
+    #[test]
+    fn multi_rule_allow_tracks_staleness_per_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyzer: allow(unwrap, expect) -- only unwrap fires\n}\n";
+        let f = analyze_source("m.rs", src, PANIC_SET);
+        assert_eq!(rules_of(&f), vec![(2, RuleId::StaleAllow)]);
+    }
+}

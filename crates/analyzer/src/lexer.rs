@@ -1,0 +1,329 @@
+//! A small Rust source lexer that separates *code* from *comments and
+//! literals*, line by line.
+//!
+//! The analyzer's rules are token-level: they must never fire on the word
+//! `unwrap` inside a string literal or a doc comment, and directives
+//! (`// analyzer: ...`) must only be read from real line comments. This
+//! module produces, for every source line, the line's code with every
+//! comment and every string/char-literal *content* blanked out to spaces
+//! (so byte columns stay roughly aligned), plus the text of any ordinary
+//! `//` line comment on that line.
+//!
+//! Handled: line comments, nested block comments, doc comments (`///`,
+//! `//!` — treated as comments but never as directives), string literals
+//! with escapes, raw (and byte/raw-byte) strings with arbitrary `#` fences,
+//! char literals vs. lifetimes. This is not a full Rust lexer — it is the
+//! minimal subset needed to make token scanning sound on rustfmt-formatted
+//! source.
+
+/// One source line after masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedLine {
+    /// The line's code with comments and literal contents replaced by
+    /// spaces. String/char delimiters are kept so the line still "shapes"
+    /// like code.
+    pub code: String,
+    /// Concatenated text of ordinary `//` line comments on this line
+    /// (doc comments excluded), without the leading `//`.
+    pub comment: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside `//`; `doc` records `///` / `//!`, which never carry
+    /// directives.
+    LineComment {
+        doc: bool,
+    },
+    /// Inside `/* ... */`, with rustc's nesting semantics.
+    BlockComment {
+        depth: u32,
+    },
+    /// Inside `"..."` (or `b"..."`).
+    Str,
+    /// Inside `r"..."` / `r#"..."#` (or `br...`); the payload is the number
+    /// of `#` fence characters.
+    RawStr {
+        hashes: u32,
+    },
+    /// Inside `'x'` (char or byte literal).
+    CharLit,
+}
+
+/// Masks `source` into per-line code/comment pairs. Lines are 1-indexed by
+/// position in the returned vector (+1).
+pub fn mask(source: &str) -> Vec<MaskedLine> {
+    let cs: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut prev_code_char = ' ';
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(MaskedLine {
+                code: std::mem::take(&mut code),
+                comment: if comment.is_empty() {
+                    None
+                } else {
+                    Some(std::mem::take(&mut comment))
+                },
+            });
+            comment.clear();
+        };
+    }
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            // A newline always ends the line; multi-line constructs carry
+            // their state across.
+            if let State::LineComment { .. } = state {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = cs.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '/' {
+                    let third = cs.get(i + 2).copied().unwrap_or(' ');
+                    // `////...` banners count as plain comments; `///` and
+                    // `//!` are docs.
+                    let doc = (third == '/' && cs.get(i + 3).copied().unwrap_or(' ') != '/')
+                        || third == '!';
+                    state = State::LineComment { doc };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment { depth: 1 };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    prev_code_char = '"';
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident_char(prev_code_char) {
+                    // Possible raw/byte string head: r" r#" b" br" br#".
+                    let mut j = i;
+                    if c == 'b' && cs.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if c == 'b' && cs.get(j + 1) == Some(&'"') {
+                        // b"...": plain escaped string.
+                        code.push_str("b\"");
+                        prev_code_char = '"';
+                        state = State::Str;
+                        i = j + 2;
+                    } else if (c == 'r' || j > i) && matches!(cs.get(j + 1), Some('"') | Some('#'))
+                    {
+                        let mut hashes = 0;
+                        let mut k = j + 1;
+                        while cs.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if cs.get(k) == Some(&'"') {
+                            for _ in i..=k {
+                                code.push(' ');
+                            }
+                            code.pop();
+                            code.push('"');
+                            prev_code_char = '"';
+                            state = State::RawStr { hashes };
+                            i = k + 1;
+                        } else {
+                            // `r#ident` raw identifier or stray `#`s.
+                            code.push(c);
+                            prev_code_char = c;
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        prev_code_char = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs. lifetime: a literal is `'\...` or
+                    // `'x'`; anything else (`'a,`, `'static`) is a lifetime.
+                    let is_char = next == '\\' || (cs.get(i + 2) == Some(&'\'') && next != '\'');
+                    if is_char {
+                        state = State::CharLit;
+                        code.push('\'');
+                        prev_code_char = '\'';
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        prev_code_char = '\'';
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code_char = c;
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment { doc } => {
+                if !doc {
+                    comment.push(c);
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = cs.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '*' {
+                    state = State::BlockComment { depth: depth + 1 };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if cs.get(i + 1) == Some(&'\n') {
+                        // Line-continuation escape: leave the newline for the
+                        // flush above so line numbering stays exact.
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    prev_code_char = '"';
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if cs.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        prev_code_char = '"';
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    prev_code_char = '\'';
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    lines
+}
+
+/// True for characters that may appear in a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        mask(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unwrap()\"; // analyzer: allow(unwrap) -- just kidding\n";
+        let lines = mask(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert_eq!(
+            lines[0].comment.as_deref().map(str::trim),
+            Some("analyzer: allow(unwrap) -- just kidding")
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_not_directive_comments() {
+        let lines = mask("/// analyzer: alloc-free\n//! analyzer: alloc-free\n// real\n");
+        assert_eq!(lines[0].comment, None);
+        assert_eq!(lines[1].comment, None);
+        assert_eq!(lines[2].comment.as_deref().map(str::trim), Some("real"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let c = code_of("let s = r#\"panic!(\"x\") HashMap\"#;\n");
+        assert!(!c[0].contains("panic"));
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_coexist() {
+        let c = code_of("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(c[0].contains("<'a>"));
+        assert!(!c[0].contains('x') || !c[0].contains("'x'"));
+        let c = code_of("let q = '\\'';\nlet w = unwrap_later;\n");
+        assert!(c[1].contains("unwrap_later"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let c = code_of("/* a /* b */ still comment */ let y = 1;\n");
+        assert!(c[0].contains("let y = 1;"));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let c = code_of("let s = \"line one\nunwrap() in a string\";\nlet t = 3;\n");
+        assert!(!c[1].contains("unwrap"));
+        assert!(c[2].contains("let t = 3;"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # ftdb-analyzer
+//!
+//! A self-contained, dependency-free static-analysis gate for this
+//! workspace: it makes "no panics, no allocations, no nondeterminism in
+//! the cycle loop" a *build-time* property instead of a test-time hope.
+//!
+//! The repo's headline claims — byte-identical `CongestionReport`s across
+//! engines, thread counts, and healthy-vs-reconfigured runs — previously
+//! rested on dynamic checks only (the differential property suite and the
+//! counting allocator). This crate adds the static mirror:
+//!
+//! | Rule family | Scope | Catches |
+//! |---|---|---|
+//! | panic-freedom | hot-path modules ([`Policy::panic_files`](policy::Policy)) | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`, integer-literal indexing |
+//! | allocation discipline | functions annotated `// analyzer: alloc-free` | `Vec::new`/`vec!`/`push`/`collect`/`to_vec`/`clone`/`format!`/`Box::new`/... |
+//! | determinism | `crates/sim`, `crates/analysis` sources | `HashMap`/`HashSet`, `Instant`/`SystemTime`, `thread_rng`, float `==` |
+//! | differential coverage | `CongestionReport` ↔ `wakelist_differential.rs` | a report field the equivalence suite never compares |
+//!
+//! Violations carry `file:line` diagnostics. Proven-invariant sites are
+//! annotated inline — `// analyzer: allow(<rule>) -- <justification>` —
+//! and an allow that suppresses nothing is itself an error
+//! (`stale-allow`), so suppressions cannot outlive the code they excuse.
+//!
+//! The scanner is source-level: a small lexer ([`lexer`]) masks comments
+//! and string/char literals before token matching, so the rules are sound
+//! on rustfmt-formatted code without needing `syn` (no registry access in
+//! this environment). `#[cfg(test)]` items are exempt — the gate protects
+//! shipped hot paths, not the assertions about them.
+//!
+//! Run it locally with `cargo run -p ftdb-analyzer -- check`; CI runs the
+//! same command as the blocking `lint-gate` job.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod analyze;
+pub mod audit;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+pub use analyze::{analyze_source, Finding};
+pub use policy::{check, Policy};
+pub use rules::{RuleId, RuleSet};
+
+use std::io;
+use std::path::Path;
+
+/// Runs the committed workspace policy ([`Policy::workspace`]) over the
+/// tree rooted at `root`, returning all findings sorted by path and line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    check(root, &Policy::workspace())
+}

@@ -1,0 +1,110 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! ```text
+//! ftdb-analyzer check [--root DIR]   # scan the workspace; exit 1 on findings
+//! ftdb-analyzer rules                # print the rule table
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftdb_analyzer::rules::ALL_RULES;
+use ftdb_analyzer::{check_workspace, Policy, RuleId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("ftdb-analyzer: unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("ftdb-analyzer: `--root` needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ftdb-analyzer: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let findings = match check_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ftdb-analyzer: i/o error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        let policy = Policy::workspace();
+        println!(
+            "ftdb-analyzer: clean ({} hot-path file(s), {} determinism prefix(es), {} audit(s))",
+            policy.panic_files.len(),
+            policy.determinism_prefixes.len(),
+            policy.audits.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!("ftdb-analyzer: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_rules() {
+    println!("{:<18} description", "rule");
+    for rule in ALL_RULES {
+        println!("{:<18} {}", rule.name(), describe(rule));
+    }
+    println!();
+    println!("allow syntax:  // analyzer: allow(<rule>[, <rule>]) -- <justification>");
+    println!("annotation:    // analyzer: alloc-free   (own line, above a fn)");
+}
+
+fn describe(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::Unwrap => "`.unwrap()` in a panic-free hot-path module",
+        RuleId::Expect => "`.expect(..)` in a panic-free hot-path module",
+        RuleId::Panic => "`panic!` in a panic-free hot-path module",
+        RuleId::Unreachable => "`unreachable!` in a panic-free hot-path module",
+        RuleId::Todo => "`todo!` in a panic-free hot-path module",
+        RuleId::Unimplemented => "`unimplemented!` in a panic-free hot-path module",
+        RuleId::IndexLiteral => "integer-literal indexing (`xs[0]`) in a hot-path module",
+        RuleId::Alloc => "allocating call inside a `// analyzer: alloc-free` function",
+        RuleId::HashCollections => "HashMap/HashSet in a determinism-critical module",
+        RuleId::WallClock => "Instant/SystemTime in a determinism-critical module",
+        RuleId::AmbientRng => "thread_rng/from_entropy in a determinism-critical module",
+        RuleId::FloatEq => "float ==/!= in a determinism-critical module",
+        RuleId::DiffCoverage => "report field missing from the differential equivalence suite",
+        RuleId::StaleAllow => "`analyzer: allow` that suppresses nothing",
+        RuleId::BadDirective => "malformed or unknown `analyzer:` directive",
+    }
+}
+
+fn usage() {
+    eprintln!("usage: ftdb-analyzer <check [--root DIR] | rules>");
+}

@@ -1,0 +1,142 @@
+//! The workspace policy: which rule families apply to which modules, and
+//! the file walker that applies them.
+//!
+//! The mapping is deliberately explicit — the gate protects *named*
+//! load-bearing modules (the congestion cycle loop, the routing kernels,
+//! the BFS scratch, the exhaustive verifier) rather than aspiring to a
+//! workspace-wide ban it would then have to allowlist into uselessness.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::analyze::{analyze_source, Finding};
+use crate::audit::{differential_coverage, AuditSpec};
+use crate::rules::RuleSet;
+
+/// Maps workspace-relative paths to rule sets.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Files under panic-freedom rules (the hot-path modules).
+    pub panic_files: Vec<String>,
+    /// Path prefixes under determinism rules (report-producing crates).
+    pub determinism_prefixes: Vec<String>,
+    /// Directories walked for `.rs` files (directives and `alloc-free`
+    /// annotations are honored everywhere scanned).
+    pub scan_roots: Vec<String>,
+    /// Path prefixes never scanned (seeded-violation fixture corpora).
+    pub exclude_prefixes: Vec<String>,
+    /// Differential-coverage audits (report struct ↔ equivalence suite).
+    pub audits: Vec<AuditSpec>,
+}
+
+impl Policy {
+    /// The committed policy for this workspace.
+    pub fn workspace() -> Policy {
+        Policy {
+            panic_files: vec![
+                "crates/sim/src/congestion.rs".into(),
+                "crates/sim/src/routing.rs".into(),
+                "crates/graph/src/traversal.rs".into(),
+                "crates/graph/src/search.rs".into(),
+                "crates/core/src/verify.rs".into(),
+            ],
+            determinism_prefixes: vec!["crates/sim/src/".into(), "crates/analysis/src/".into()],
+            scan_roots: vec!["crates".into(), "examples".into(), "tests".into()],
+            exclude_prefixes: vec!["crates/analyzer/fixtures".into()],
+            audits: vec![AuditSpec {
+                struct_file: "crates/sim/src/congestion.rs".into(),
+                struct_name: "CongestionReport".into(),
+                test_file: "tests/tests/wakelist_differential.rs".into(),
+            }],
+        }
+    }
+
+    /// The rule families active for one workspace-relative path.
+    pub fn rule_set_for(&self, rel: &str) -> RuleSet {
+        RuleSet {
+            panic_free: self.panic_files.iter().any(|p| p == rel),
+            determinism: self
+                .determinism_prefixes
+                .iter()
+                .any(|p| rel.starts_with(p.as_str())),
+        }
+    }
+
+    fn excluded(&self, rel: &str) -> bool {
+        self.exclude_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// Runs the full policy over the workspace at `root`: every scanned file
+/// plus every configured audit. Findings are sorted by path, then line.
+pub fn check(root: &Path, policy: &Policy) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for scan_root in &policy.scan_roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = relative_label(root, path);
+        if policy.excluded(&rel) {
+            continue;
+        }
+        let source = fs::read_to_string(path)?;
+        findings.extend(analyze_source(&rel, &source, policy.rule_set_for(&rel)));
+    }
+    for audit in &policy.audits {
+        findings.extend(differential_coverage(root, audit)?);
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Workspace-relative, `/`-separated label for diagnostics.
+fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_policy_names_the_hot_paths() {
+        let p = Policy::workspace();
+        let set = p.rule_set_for("crates/sim/src/congestion.rs");
+        assert!(set.panic_free && set.determinism);
+        let set = p.rule_set_for("crates/sim/src/metrics.rs");
+        assert!(!set.panic_free && set.determinism);
+        let set = p.rule_set_for("crates/graph/src/traversal.rs");
+        assert!(set.panic_free && !set.determinism);
+        let set = p.rule_set_for("crates/topology/src/debruijn.rs");
+        assert_eq!(set, RuleSet::default());
+        assert!(p.excluded("crates/analyzer/fixtures/panic_violations.rs"));
+    }
+}

@@ -20,6 +20,10 @@
 //! `ns_per_item`), printing GitHub `::warning::` annotations for each
 //! regression — the perf-regression CI gate.
 
+// Wall-clock measurement is this binary's entire purpose; the workspace-wide
+// `Instant::now` ban (clippy.toml) targets simulation code, not the harness.
+#![allow(clippy::disallowed_methods)]
+
 use ftdb_analysis::sim_experiments::{sim5_load_sweep_parallel, SweepScenario};
 use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;

@@ -59,6 +59,15 @@ pub enum SimError {
         /// The construction's budget `k`.
         budget: usize,
     },
+    /// Online reconfiguration failed verification for a fault set *within*
+    /// the budget. Theorem 1 guarantees this cannot happen for a correct
+    /// construction, so this error marks a construction bug — surfaced as a
+    /// typed error instead of a panic so a recovery driver degrades
+    /// gracefully.
+    ReconfigurationFailed {
+        /// Number of faults in the set that failed to reconfigure.
+        faults: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -78,6 +87,13 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "{faults} faults exceed the construction's budget k = {budget}"
+                )
+            }
+            SimError::ReconfigurationFailed { faults } => {
+                write!(
+                    f,
+                    "reconfiguration failed verification for a within-budget set of \
+                     {faults} faults (construction bug)"
                 )
             }
         }

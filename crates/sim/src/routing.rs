@@ -263,6 +263,7 @@ fn check_endpoints(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<(),
 /// Hop count of the oblivious route when nothing can fail (Trust::Full):
 /// pure shift arithmetic, no memory traffic besides the instruction stream.
 #[inline]
+// analyzer: alloc-free
 fn oblivious_hops_trusted(
     db: &DeBruijn2,
     source: NodeId,
@@ -284,6 +285,7 @@ fn oblivious_hops_trusted(
 /// Hop count when links are trusted but processors may be faulty
 /// (Trust::Health): one health check per visited node.
 #[inline]
+// analyzer: alloc-free
 fn oblivious_hops_health(
     db: &DeBruijn2,
     placement: &Embedding,
@@ -415,10 +417,10 @@ pub fn run_logical_workload_batched(
             })
             .collect();
         for handle in handles {
-            stats.merge(&handle.join().expect("routing worker panicked"));
+            stats.merge(&handle.join().expect("routing worker panicked")); // analyzer: allow(expect) -- a worker panic must propagate to the caller, not be merged into partial stats
         }
     })
-    .expect("routing scope panicked");
+    .expect("routing scope panicked"); // analyzer: allow(expect) -- crossbeam scope errors only reflect a worker panic that is already propagating
     stats
 }
 
@@ -453,10 +455,10 @@ pub fn run_adaptive_workload_batched(
             })
             .collect();
         for handle in handles {
-            stats.merge(&handle.join().expect("routing worker panicked"));
+            stats.merge(&handle.join().expect("routing worker panicked")); // analyzer: allow(expect) -- a worker panic must propagate to the caller, not be merged into partial stats
         }
     })
-    .expect("routing scope panicked");
+    .expect("routing scope panicked"); // analyzer: allow(expect) -- crossbeam scope errors only reflect a worker panic that is already propagating
     stats
 }
 

@@ -115,12 +115,40 @@ fn assert_engines_agree(
         schedule,
         timed,
     );
+    assert_report_fields_equal(&wake.report, &naive.report);
     assert_eq!(
         wake, naive,
         "engines diverged (h={h}, {port:?}, {flow:?}, {response:?})"
     );
     // "Byte-identical" taken literally: the rendered reports match too.
     assert_eq!(wake.report_text, naive.report_text);
+}
+
+/// Field-by-field equality over every public `CongestionReport` field,
+/// with the field's name in the failure message. The destructuring is
+/// exhaustive (no `..`), so adding a report field fails to compile here
+/// until it is compared — and `ftdb-analyzer`'s `diff-coverage` audit
+/// cross-checks the struct definition against this file, so the field
+/// cannot be waved through with a `..` either.
+fn assert_report_fields_equal(wake: &CongestionReport, naive: &CongestionReport) {
+    let CongestionReport {
+        cycles,
+        injected,
+        delivered,
+        dropped,
+        total_flits,
+        completed,
+        deadlocked,
+        latency,
+    } = wake;
+    assert_eq!(*cycles, naive.cycles, "cycles diverged");
+    assert_eq!(*injected, naive.injected, "injected diverged");
+    assert_eq!(*delivered, naive.delivered, "delivered diverged");
+    assert_eq!(*dropped, naive.dropped, "dropped diverged");
+    assert_eq!(*total_flits, naive.total_flits, "total_flits diverged");
+    assert_eq!(*completed, naive.completed, "completed diverged");
+    assert_eq!(*deadlocked, naive.deadlocked, "deadlocked diverged");
+    assert_eq!(*latency, naive.latency, "latency summary diverged");
 }
 
 fn flow_of(depth: u32) -> FlowControl {

@@ -13,6 +13,9 @@
 //! registry access, not a statistics engine.
 
 #![forbid(unsafe_code)]
+// Wall-clock timing is this crate's entire purpose; the workspace-wide
+// `Instant::now` ban (clippy.toml) targets simulation code, not the harness.
+#![allow(clippy::disallowed_methods)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
