@@ -20,6 +20,7 @@ use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
 use ftdb_sim::bus_model::bus_timing_table;
 use ftdb_sim::congestion::{
     run_recovery, CongestionConfig, CongestionSim, FaultResponse, FlowControl, OpenLoopReport,
+    ShardedSim,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::metrics::SlowdownRow;
@@ -396,7 +397,7 @@ pub fn sim5_load_sweep_parallel(
         flow_control: scenario.flow,
         ..CongestionConfig::default()
     };
-    let threads = threads.max(1).min(loads.len().max(1));
+    let threads = sweep_worker_count(threads, loads.len());
     if threads == 1 {
         return sweep_chunk(&ft, &faults, &placement, config, scenario.port, loads, seed);
     }
@@ -528,6 +529,87 @@ pub fn sim5_tables(h: usize, loads: &[f64], seed: u64, threads: usize) -> Vec<Te
         tables.push(render_sim5(title, &points));
     }
     tables
+}
+
+/// Effective worker count for a sweep of `points` points requested at
+/// `threads` workers — the clamp [`sim5_load_sweep_parallel`] applies before
+/// spawning. Exposed so drivers (`perf_report`) record the worker count
+/// that actually ran rather than the one requested.
+pub fn sweep_worker_count(threads: usize, points: usize) -> usize {
+    threads.max(1).min(points.max(1))
+}
+
+/// Injection windows for a SIM6 sharded open-loop run. The SIM5 windows
+/// (150/300/450 cycles) multiply into hundreds of millions of injections at
+/// `B(2,20)`; million-node runs use shorter windows with a generous drain.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedSweepSpec {
+    /// Cycles injected before the measurement window opens.
+    pub warmup_cycles: u32,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u32,
+    /// Cycles the run may keep draining after injection stops.
+    pub drain_cycles: u32,
+    /// Injection-schedule seed.
+    pub seed: u64,
+}
+
+/// SIM6: an open-loop latency–throughput sweep on a healthy `B(2,h)`
+/// executed by the sharded engine ([`ShardedSim`]) under credit flow
+/// control. Deterministic for fixed inputs and — the property the CI
+/// shard-determinism job diffs — *independent of `shards` and `threads`*:
+/// the rendered table is byte-identical for any partition.
+pub fn sim6_sharded_sweep(
+    h: usize,
+    loads: &[f64],
+    windows: &ShardedSweepSpec,
+    shards: usize,
+    threads: usize,
+) -> Vec<OpenLoopReport> {
+    let db = DeBruijn2::new(h);
+    let n = db.node_count();
+    let placement = Embedding::identity(n);
+    let config = CongestionConfig {
+        flow_control: FlowControl::CreditBased { buffer_depth: 4 },
+        ..CongestionConfig::default()
+    };
+    let mut injections = Vec::new();
+    loads
+        .iter()
+        .map(|&offered_load| {
+            let spec = ftdb_sim::workload::OpenLoopSpec {
+                offered_load,
+                process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+                warmup_cycles: windows.warmup_cycles,
+                measure_cycles: windows.measure_cycles,
+                drain_cycles: windows.drain_cycles,
+                seed: windows.seed,
+            };
+            ftdb_sim::workload::open_loop_injections_into(n, &spec, &mut injections);
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim = ShardedSim::new(machine, config, shards, threads);
+            sim.load_oblivious_timed(&db, &placement, &injections);
+            ftdb_sim::congestion::measure_open_loop(&mut sim, &spec)
+        })
+        .collect()
+}
+
+/// The canned SIM6 grid for `experiments -- sim-sharded`: small enough for
+/// CI, congested enough to exercise credit back-pressure and the boundary
+/// channels (the top loads sit past the saturation knee).
+pub fn sim6_tables(h: usize, seed: u64, shards: usize, threads: usize) -> Vec<TextTable> {
+    let windows = ShardedSweepSpec {
+        warmup_cycles: 100,
+        measure_cycles: 200,
+        drain_cycles: 400,
+        seed,
+    };
+    let loads = [0.05, 0.15, 0.30, 0.50];
+    let points = sim6_sharded_sweep(h, &loads, &windows, shards, threads);
+    vec![render_sim5(
+        format!("SIM6: healthy B(2,{h}), sharded engine, credit flow control, depth 4"),
+        &points,
+    )]
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ impl Policy {
     pub fn workspace() -> Policy {
         Policy {
             panic_files: vec![
-                "crates/sim/src/congestion.rs".into(),
+                "crates/sim/src/congestion/mod.rs".into(),
+                "crates/sim/src/congestion/engine.rs".into(),
+                "crates/sim/src/congestion/implicit_route.rs".into(),
+                "crates/sim/src/congestion/shard.rs".into(),
+                "crates/sim/src/congestion/boundary.rs".into(),
                 "crates/sim/src/routing.rs".into(),
                 "crates/graph/src/traversal.rs".into(),
                 "crates/graph/src/search.rs".into(),
@@ -45,7 +49,7 @@ impl Policy {
             scan_roots: vec!["crates".into(), "examples".into(), "tests".into()],
             exclude_prefixes: vec!["crates/analyzer/fixtures".into()],
             audits: vec![AuditSpec {
-                struct_file: "crates/sim/src/congestion.rs".into(),
+                struct_file: "crates/sim/src/congestion/engine.rs".into(),
                 struct_name: "CongestionReport".into(),
                 test_file: "tests/tests/wakelist_differential.rs".into(),
             }],
@@ -129,7 +133,9 @@ mod tests {
     #[test]
     fn workspace_policy_names_the_hot_paths() {
         let p = Policy::workspace();
-        let set = p.rule_set_for("crates/sim/src/congestion.rs");
+        let set = p.rule_set_for("crates/sim/src/congestion/engine.rs");
+        assert!(set.panic_free && set.determinism);
+        let set = p.rule_set_for("crates/sim/src/congestion/shard.rs");
         assert!(set.panic_free && set.determinism);
         let set = p.rule_set_for("crates/sim/src/metrics.rs");
         assert!(!set.panic_free && set.determinism);

@@ -169,11 +169,11 @@ fn cli_exits_one_on_the_seeded_tree() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
     assert!(
-        stdout.contains("crates/sim/src/congestion.rs:14: [unwrap]"),
+        stdout.contains("crates/sim/src/congestion/engine.rs:14: [unwrap]"),
         "{stdout}"
     );
     assert!(
-        stdout.contains("crates/sim/src/congestion.rs:15: [hash-collections]"),
+        stdout.contains("crates/sim/src/congestion/engine.rs:15: [hash-collections]"),
         "{stdout}"
     );
     assert!(stdout.contains("[diff-coverage]"), "{stdout}");

@@ -3,21 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p ftdb-bench --bin experiments -- [--threads N] [experiment...]
+//! cargo run --release -p ftdb-bench --bin experiments -- [--threads N] [--shards N] [experiment...]
 //! ```
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
-//! table3 corollaries tolerance sim sim-bus sim-congestion sim-loadsweep ablation
-//! all`
-//! (default: `all`). Output is
-//! plain text on stdout; it is the source of the measured numbers recorded
-//! in `EXPERIMENTS.md`.
+//! table3 corollaries tolerance sim sim-bus sim-congestion sim-loadsweep
+//! sim-sharded sim-million sim-million-smoke ablation all`
+//! (default: `all`; the `sim-million*` scale runs are excluded from `all`).
+//! Output is plain text on stdout; it is the source of the measured numbers
+//! recorded in `EXPERIMENTS.md`.
 //!
 //! `--threads N` sizes the worker pool of the sweep-style experiments
-//! (currently `sim-loadsweep`; default: the machine's available
-//! parallelism). Every experiment is seeded and the parallel drivers merge
-//! in deterministic order, so the output is byte-identical for any `N` —
-//! CI diffs `--threads 4` against `--threads 1` to enforce exactly that.
+//! (default: the machine's available parallelism). `--shards N` sizes the
+//! graph partition of the sharded-engine experiments (`sim-sharded`,
+//! `sim-million*`; default 4). Every experiment is seeded and the parallel
+//! drivers merge in deterministic order, so the output is byte-identical
+//! for any `N` — CI diffs `--threads 4` against `--threads 1`, and
+//! `--shards 1/2/4` against each other, to enforce exactly that.
 
 use ftdb_analysis::ablation::{
     offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
@@ -30,8 +32,9 @@ use ftdb_analysis::corollaries::{
 };
 use ftdb_analysis::figures;
 use ftdb_analysis::sim_experiments::{
-    render_sim1, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table, sim3_congestion_table,
-    sim4_recovery_table, sim5_tables,
+    render_sim1, render_sim5, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
+    sim3_congestion_table, sim4_recovery_table, sim5_tables, sim6_sharded_sweep, sim6_tables,
+    ShardedSweepSpec,
 };
 
 fn print_figure(fig: &figures::Figure) {
@@ -43,7 +46,7 @@ fn print_figure(fig: &figures::Figure) {
     }
 }
 
-fn run(name: &str, threads: usize) -> bool {
+fn run(name: &str, threads: usize, shards: usize) -> bool {
     match name {
         "fig1" => print_figure(&figures::figure1()),
         "fig2" => print_figure(&figures::figure2()),
@@ -152,6 +155,52 @@ fn run(name: &str, threads: usize) -> bool {
                 println!("{}", table.render());
             }
         }
+        "sim-sharded" => {
+            // The CI shard-determinism job diffs this output across
+            // `--shards 1,2,4`: it must be byte-identical for any partition.
+            for table in sim6_tables(7, 0xF7DB, shards, threads) {
+                println!("{}", table.render());
+            }
+        }
+        "sim-million" => {
+            // The headline scale runs: an open-loop sweep on B(2,20)
+            // (1,048,576 nodes) and a single-point B(2,24) (16.7M nodes)
+            // smoke. Loads sit below the ~2/(h-1) de Bruijn saturation
+            // ceiling so the runs drain rather than collapse. Not part of
+            // `all` — minutes of wall clock, gigabytes of packet state.
+            let windows = ShardedSweepSpec {
+                warmup_cycles: 8,
+                measure_cycles: 16,
+                drain_cycles: 600,
+                seed: 0xF7DB,
+            };
+            let points = sim6_sharded_sweep(20, &[0.01, 0.03, 0.05], &windows, shards, threads);
+            println!(
+                "{}",
+                render_sim5(
+                    "SIM6-million: healthy B(2,20), sharded engine, credit depth 4".to_string(),
+                    &points,
+                )
+                .render()
+            );
+        }
+        "sim-million-smoke" => {
+            let windows = ShardedSweepSpec {
+                warmup_cycles: 4,
+                measure_cycles: 8,
+                drain_cycles: 400,
+                seed: 0xF7DB,
+            };
+            let points = sim6_sharded_sweep(24, &[0.01], &windows, shards, threads);
+            println!(
+                "{}",
+                render_sim5(
+                    "SIM6-smoke: healthy B(2,24), sharded engine, credit depth 4".to_string(),
+                    &points,
+                )
+                .render()
+            );
+        }
         "ablation" => {
             let abl1 = offset_ablation(&[(3, 1), (3, 2), (4, 1), (4, 2)], 50_000_000);
             println!("{}", render_offset_ablation(&abl1).render());
@@ -174,9 +223,10 @@ fn run(name: &str, threads: usize) -> bool {
                 "sim-bus",
                 "sim-congestion",
                 "sim-loadsweep",
+                "sim-sharded",
                 "ablation",
             ] {
-                run(e, threads);
+                run(e, threads, shards);
             }
         }
         other => {
@@ -187,11 +237,12 @@ fn run(name: &str, threads: usize) -> bool {
     true
 }
 
-const USAGE: &str = "usage: experiments [--threads N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|ablation|all]...";
+const USAGE: &str = "usage: experiments [--threads N] [--shards N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|sim-sharded|sim-million|sim-million-smoke|ablation|all]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut shards = 4usize;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -204,15 +255,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match ftdb_bench::parse_threads_value(it.next()) {
+                Ok(s) => shards = s,
+                Err(_) => {
+                    eprintln!("experiments: --shards requires a positive integer");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             _ => names.push(arg.clone()),
         }
     }
     let mut ok = true;
     if names.is_empty() {
-        ok &= run("all", threads);
+        ok &= run("all", threads, shards);
     } else {
         for a in &names {
-            ok &= run(a, threads);
+            ok &= run(a, threads, shards);
         }
     }
     if !ok {

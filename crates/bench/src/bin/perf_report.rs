@@ -24,13 +24,13 @@
 // `Instant::now` ban (clippy.toml) targets simulation code, not the harness.
 #![allow(clippy::disallowed_methods)]
 
-use ftdb_analysis::sim_experiments::{sim5_load_sweep_parallel, SweepScenario};
+use ftdb_analysis::sim_experiments::{sim5_load_sweep_parallel, sweep_worker_count, SweepScenario};
 use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;
 use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
 use ftdb_sim::congestion::{
-    measure_open_loop, CongestionConfig, CongestionSim, EngineKind, FlowControl,
+    measure_open_loop, CongestionConfig, CongestionSim, EngineKind, FlowControl, RouteSource,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::{
@@ -281,9 +281,50 @@ fn main() {
                 "cycles": last.cycles,
                 "cycles_per_packet": last.cycles_per_packet(),
                 "flits_per_cycle": last.flits_per_cycle(),
+                "route_state_bytes": sim.route_state_bytes() as u64,
             }),
         ));
     }
+
+    // ---- Route-state memory accounting ---------------------------------
+    // The implicit-routing claim as a tracked number, not prose: bytes of
+    // per-packet route storage for the same h=10 permutation under the
+    // implicit (O(1)/packet) and materialized (O(h)/packet) representations.
+    // Not a timed suite (no ns_per_item), so it lives beside `suites` and
+    // the regression gate ignores it.
+    let route_state = {
+        let h = 10;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let placement = Embedding::identity(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let bytes_for = |route_source: RouteSource| {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim = CongestionSim::new(
+                machine,
+                CongestionConfig {
+                    route_source,
+                    ..CongestionConfig::default()
+                },
+            );
+            sim.load_oblivious(&db, &placement, &pairs);
+            sim.route_state_bytes() as u64
+        };
+        let implicit = bytes_for(RouteSource::Implicit);
+        let materialized = bytes_for(RouteSource::Materialized);
+        println!(
+            "route_state h{h} ({} packets): implicit {implicit} B, materialized {materialized} B ({:.2}x)",
+            pairs.len(),
+            materialized as f64 / implicit as f64,
+        );
+        json!({
+            "h": h,
+            "packets": pairs.len() as u64,
+            "implicit_bytes": implicit,
+            "materialized_bytes": materialized,
+        })
+    };
 
     // ---- Bounded buffers: credit flow control --------------------------
     // The same drained-permutation measurement as above, but through the
@@ -445,6 +486,7 @@ fn main() {
                 "cum_injected_by_window_end": last.cum_injected_by_window_end,
                 "cum_delivered_by_window_end": last.cum_delivered_by_window_end,
                 "deadlocked": last.deadlocked,
+                "route_state_bytes": sim.route_state_bytes() as u64,
             }),
         ));
     }
@@ -468,15 +510,22 @@ fn main() {
             port: PortModel::MultiPort,
             flow: FlowControl::CreditBased { buffer_depth: 4 },
         };
-        let mut last = sim5_load_sweep_parallel(&scenario, loads, 7, threads);
+        // This suite exists to measure the *parallel* harness: on a
+        // single-CPU runner `--threads` defaults to 1 and the fan-out path
+        // would never run, so the suite floors its worker count at 2 and
+        // records the count that actually ran (the same clamp the sweep
+        // itself applies — requesting more workers than sweep points spawns
+        // only one per point).
+        let sweep_workers = sweep_worker_count(threads.max(2), loads.len());
+        let mut last = sim5_load_sweep_parallel(&scenario, loads, 7, sweep_workers);
         let m = measure(repeats, || {
-            last = sim5_load_sweep_parallel(&scenario, loads, 7, threads);
+            last = sim5_load_sweep_parallel(&scenario, loads, 7, sweep_workers);
             black_box(last.len());
         });
         let name = "sweep_parallel_h7".to_string();
         let (ns, rate) = per_item(&m, loads.len() as u64);
         println!(
-            "{name:<40} {ns:>12.1} ns/point  {rate:>14.0} point/s  ({} loads, {threads} threads)",
+            "{name:<40} {ns:>12.1} ns/point  {rate:>14.0} point/s  ({} loads, {sweep_workers} workers)",
             loads.len()
         );
         suites.push((
@@ -487,7 +536,8 @@ fn main() {
                 "item": "point",
                 "items_per_run": loads.len() as u64,
                 "repeats": m.repeats,
-                "threads": threads,
+                "threads": sweep_workers,
+                "threads_requested": threads,
             }),
         ));
     }
@@ -541,6 +591,7 @@ fn main() {
         "schema": "ftdb-perf/1",
         "mode": if quick { "quick" } else { "full" },
         "threads": threads,
+        "route_state": route_state,
         "suites": Value::Object(suites.into_iter().collect()),
     });
     std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_perf.json");

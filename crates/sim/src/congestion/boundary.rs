@@ -1,0 +1,127 @@
+//! Boundary-exchange messages for the sharded congestion engine.
+//!
+//! [`super::shard::ShardedSim`] partitions nodes (and therefore CSR link
+//! slots) into contiguous ranges, one per shard. Within a cycle every
+//! arbitration resource a packet contends for — its node's output port, its
+//! outgoing link's claim stamp, that link's downstream buffer credits — is
+//! owned by the shard hosting the packet's *current* node, so shards run
+//! their cycle phases without synchronisation. The only cross-shard effects
+//! are deferred to the cycle barrier, carried by the two message kinds
+//! here:
+//!
+//! * a [`Flit`]: a packet crossed a shard boundary and its O(1) route state
+//!   (plus, for the rare materialized packet, its remaining path) must move
+//!   to the destination shard before the next cycle's examination pass;
+//! * a credit return: a packet vacated (or drained) an input buffer whose
+//!   link slot belongs to another shard. The single-table engine also
+//!   defers credit returns by exactly one cycle (`pending_credit`), so
+//!   shipping them at the barrier changes nothing observable.
+//!
+//! Batches travel over a vendored-`crossbeam` channel from the scoped
+//! worker threads to the driver, which sorts them by `(dst, src)` before
+//! applying — the deterministic merge that makes the report byte-identical
+//! for any shard count and any thread interleaving. Flits within a batch
+//! are already in examination order (ascending packet id = age), so the
+//! sorted batches give a total (shard-id, packet-age) order.
+
+/// A packet mid-migration: everything the destination shard needs to host
+/// it. `entry` is already advanced to the node it just arrived on (the
+/// source shard computes the O(1) shift-register step before sending, since
+/// the graph is global).
+#[derive(Clone, Debug)]
+pub struct Flit {
+    /// Global packet id (ids are global across shards; age order = id
+    /// order everywhere).
+    pub id: u32,
+    /// Packed route entry at the arrival node (node, next-hop CSR slot,
+    /// DELIVERS flag).
+    pub entry: u64,
+    /// Shift-register position after the pending hop (implicit packets).
+    pub pos: u32,
+    /// Sentinel-encoded remaining target bits (implicit packets).
+    pub rem: u32,
+    /// Global CSR slot of the input buffer the packet occupies (owned by
+    /// the *source* shard; it drains back there when the packet next
+    /// moves), or `u32::MAX` when flow control is infinite.
+    pub occupied_slot: u32,
+    /// Remaining packed path for a materialized (re-routed) packet,
+    /// starting at the arrival node — empty for implicit packets, which
+    /// need no path at all.
+    pub path: Vec<u64>,
+}
+
+/// One shard's cycle output destined for one other shard, shipped at the
+/// cycle barrier.
+#[derive(Clone, Debug)]
+pub struct BoundaryBatch {
+    /// Sending shard.
+    pub src: u32,
+    /// Receiving shard.
+    pub dst: u32,
+    /// Packets that crossed into `dst` this cycle, in age order.
+    pub flits: Vec<Flit>,
+    /// Global CSR slots owned by `dst` whose buffers drained this cycle
+    /// (one entry per returned credit; a slot may repeat).
+    pub credits: Vec<u32>,
+}
+
+impl BoundaryBatch {
+    /// An empty batch between `src` and `dst`.
+    pub fn new(src: u32, dst: u32) -> Self {
+        BoundaryBatch {
+            src,
+            dst,
+            flits: Vec::new(),
+            credits: Vec::new(),
+        }
+    }
+
+    /// True when there is nothing to ship.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty() && self.credits.is_empty()
+    }
+}
+
+/// The contiguous node partition: `node`'s shard among `shards` shards of
+/// an `n`-node machine. Contiguous label ranges are exactly the de Bruijn
+/// label-prefix (necklace) cut: every shard owns the necklaces rooted in
+/// its prefix window, and a shift step changes the prefix by one digit, so
+/// most hops stay inside a shard.
+#[inline]
+pub fn shard_of(node: usize, n: usize, shards: usize) -> usize {
+    debug_assert!(node < n);
+    node * shards / n
+}
+
+/// First node of `shard` under the same partition (the range is
+/// `[shard_floor(s), shard_floor(s + 1))`).
+#[inline]
+pub fn shard_floor(shard: usize, n: usize, shards: usize) -> usize {
+    // Smallest `node` with `node * shards >= shard * n`.
+    (shard * n).div_ceil(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_exhaustive() {
+        for n in [1usize, 2, 7, 64, 1 << 10] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let mut seen = 0;
+                for s in 0..shards {
+                    let lo = shard_floor(s, n, shards);
+                    let hi = shard_floor(s + 1, n, shards);
+                    assert!(lo <= hi);
+                    for node in lo..hi {
+                        assert_eq!(shard_of(node, n, shards), s, "n={n} shards={shards}");
+                        seen += 1;
+                    }
+                }
+                assert_eq!(seen, n, "every node in exactly one shard");
+                assert_eq!(shard_floor(shards, n, shards), n);
+            }
+        }
+    }
+}

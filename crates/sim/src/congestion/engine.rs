@@ -1,84 +1,11 @@
-//! Cycle-level congestion engine with dynamic fault injection.
+//! The single-table congestion engine: [`CongestionSim`], its loaders,
+//! the wake-list cycle loop, recovery and open-loop measurement drivers.
 //!
-//! The static routing kernels in [`crate::routing`] answer *feasibility*
-//! questions — can this packet reach its target, and over how many hops? The
-//! paper's slowdown claims (SIM1/SIM2, the Section V "factor of 2" port
-//! argument) are about *time under contention*, which feasibility cannot
-//! see. This module adds the missing time dimension:
-//!
-//! * Packets advance **one hop per cycle** along a precomputed physical
-//!   route (oblivious de Bruijn or adaptive BFS).
-//! * Each **directed link carries at most one flit per cycle**.
-//! * Per-node output arbitration follows the machine's [`PortModel`]:
-//!   `SinglePort` processors send at most one flit per cycle in total
-//!   (injection or forwarding), `MultiPort` processors send one per incident
-//!   link — exactly the distinction Section V prices at "a factor of 2".
-//! * Blocked packets wait in store-and-forward buffers. Under the default
-//!   [`FlowControl::Infinite`] those buffers are unbounded FIFO queues;
-//!   under [`FlowControl::CreditBased`] every directed link owns a bounded
-//!   downstream input buffer guarded by a credit counter — a flit advances
-//!   only when the downstream buffer has a free slot, and the credit
-//!   returns one cycle after the slot drains. Bounded buffers are what let
-//!   the engine reproduce saturation *collapse* (tree saturation,
-//!   head-of-line blocking, and — with no virtual channels yet — genuine
-//!   buffer deadlock, reported via [`CongestionReport::deadlocked`]), not
-//!   just saturation throughput. (No virtual channels, no
-//!   wormhole/cut-through — see ROADMAP "Open items".)
-//!
-//! Arbitration is deterministic oldest-first: packets are visited in age
-//! order every cycle, and a packet claims its output port and link for the
-//! cycle when it moves. Since the first examined packet always finds all
-//! resources free, at least one flit moves per cycle and every run
-//! terminates within `total-remaining-hops` cycles (or proves a deadlock).
-//!
-//! **Event-driven wake-list core.** Near saturation — where the offered-load
-//! sweeps spend almost all their cycles — most live packets are blocked on a
-//! full downstream buffer, and rescanning them every cycle is wasted work.
-//! The engine therefore only examines packets whose gating resources could
-//! have changed since their last examination:
-//!
-//! * A packet that fails on a **multi-cycle resource** (zero credits on its
-//!   next link's buffer) parks on that link slot's blocked queue (an
-//!   intrusive list over `blocked_head`/`blocked_next`) and is woken only
-//!   when a credit returns to the slot — on ordinary credit return, on a
-//!   fault kill releasing a dead processor's buffers, or on a drop/delivery
-//!   draining the slot.
-//! * A packet that fails on a **per-cycle resource** (output port taken
-//!   under `SinglePort`, link claimed by an older packet) is re-examined
-//!   the next cycle, when that claim expires — the cycle boundary *is* the
-//!   release event for per-cycle resources, so their "blocked queue" is the
-//!   next cycle's examination list.
-//! * Rare whole-network events (a fault firing, a recovery driver
-//!   re-targeting in-flight packets) wake every parked packet, because they
-//!   can invalidate any packet's next hop.
-//!
-//! Because parked packets provably cannot move (credits only decrease within
-//! a cycle), skipping them leaves every claim decision — and therefore every
-//! report — byte-identical to the naive full rescan. The rescan is retained
-//! as [`EngineKind::NaiveScan`] and the equivalence is enforced by a
-//! differential property test (`tests/tests/wakelist_differential.rs`).
-//! Wake-list bookkeeping aside, the hot path also precomputes each hop's CSR
-//! link slot next to the node (one packed `u64` per path entry), so the
-//! per-move neighbour search of earlier revisions is gone.
-//!
-//! **Dynamic faults.** A fault schedule (`Vec<(cycle, node)>`) kills
-//! processors *mid-run*. A packet sitting on a dying node is lost with it.
-//! A packet that later tries to enter a dead node reacts according to the
-//! configured [`FaultResponse`]: dropped, or re-routed in place by a BFS
-//! through the surviving machine. On a fault-tolerant machine the driver
-//! [`run_recovery`] goes further: it performs the paper's online
-//! reconfiguration (`reconfigure_verified`) the cycle the fault fires,
-//! re-targets every in-flight packet at the logical target's new physical
-//! image, and drains — measuring *recovery latency*, not just post-hoc
-//! embeddability.
-//!
-//! The steady-state cycle loop is allocation-free after loading, in the
-//! spirit of PR 2: claims are epoch-stamped arrays indexed by CSR edge
-//! slot, the examination lists and blocked queues are sized at load, and
-//! [`CongestionSim::reset`] rewinds a loaded workload for reuse without
-//! touching the allocator ([`CongestionSim::clear_workload`] additionally
-//! lets one warmed engine serve a whole sweep of different workloads).
+//! See the [module docs](super) for the full model; this file is the
+//! reference implementation that [`super::shard::ShardedSim`] must match
+//! byte-for-byte.
 
+use super::implicit_route;
 use crate::machine::{PhysicalMachine, PortModel, SimError};
 use crate::metrics::LatencySummary;
 use ftdb_core::{FaultSet, FtDeBruijn2};
@@ -87,49 +14,107 @@ use ftdb_graph::{Embedding, NodeId};
 use ftdb_topology::DeBruijn2;
 
 /// Sentinel for "not yet": a cycle stamp that no real cycle reaches.
-const NEVER: u32 = u32::MAX;
+pub(crate) const NEVER: u32 = u32::MAX;
 /// Sentinel for "no logical target recorded" (adaptive loads).
-const NO_LOGICAL: u32 = u32::MAX;
+pub(crate) const NO_LOGICAL: u32 = u32::MAX;
 /// Sentinel for "occupies no link buffer" (the packet sits in its source's
 /// unbounded injection queue). Doubles as the packed hop-slot of a path's
 /// final entry, which has no outgoing hop.
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 /// Sentinel terminating the intrusive blocked-queue lists.
-const NONE_ID: u32 = u32::MAX;
+pub(crate) const NONE_ID: u32 = u32::MAX;
+/// `cursor` value of a live packet riding the implicit digit-shift
+/// generator: its route position lives in `imp_pos`/`imp_rem`, not in the
+/// path arena. Distinct from [`NEVER`] (resolved).
+pub(crate) const IMPLICIT_ACTIVE: u32 = u32::MAX - 1;
+/// `seg_of` value of a packet with no materialized path segment.
+pub(crate) const SEG_NONE: u32 = u32::MAX;
 /// Flag bit on a packed path entry: the hop leaving this entry lands the
-/// packet on its target, so the mover resolves without re-reading
-/// `path_end` on the hot path.
-const DELIVERS: u64 = 1 << 63;
+/// packet on its target, so the mover resolves without re-reading the
+/// segment bounds on the hot path.
+pub(crate) const DELIVERS: u64 = 1 << 63;
 
-/// Packs a path entry: physical node in the low 32 bits, the CSR slot of
-/// the hop *leaving* this entry in the high 32 (`NO_SLOT` on the last
+/// Packs a route entry: physical node in the low 32 bits, the CSR slot of
+/// the hop *leaving* this entry in the high 32 (`NO_SLOT` on a terminal
 /// entry). One cache access yields both the node and its outgoing link.
 #[inline]
-fn pk(node: u32, slot: u32) -> u64 {
+pub(crate) fn pk(node: u32, slot: u32) -> u64 {
     (node as u64) | ((slot as u64) << 32)
 }
 
-/// The physical node of a packed path entry.
+/// The physical node of a packed route entry.
 #[inline]
-fn pk_node(entry: u64) -> usize {
+pub(crate) fn pk_node(entry: u64) -> usize {
     entry as u32 as usize
 }
 
-/// The CSR slot of the hop leaving a packed path entry.
+/// The CSR slot of the hop leaving a packed route entry.
 #[inline]
-fn pk_slot(entry: u64) -> u32 {
+pub(crate) fn pk_slot(entry: u64) -> u32 {
     ((entry >> 32) as u32) & !(1 << 31)
+}
+
+/// True for a terminal entry: the packet has no outgoing hop (it was loaded
+/// already sitting on its target).
+#[inline]
+pub(crate) fn pk_terminal(entry: u64) -> bool {
+    pk_slot(entry) == NO_SLOT & !(1 << 31)
+}
+
+/// CSR slot of directed edge `(u, v)` in `machine`'s graph, mirroring
+/// `Graph::has_edge`'s scan strategy (rows are sorted; short rows scan
+/// linearly). Shared by the single-table and sharded engines; only used at
+/// load/re-route time — the cycle loops read the packed hop slots.
+pub(crate) fn edge_slot_in(machine: &PhysicalMachine, u: NodeId, v: u32) -> Option<usize> {
+    let (offsets, neighbors) = machine.graph().csr();
+    let start = offsets[u] as usize;
+    let row = &neighbors[start..offsets[u + 1] as usize];
+    if row.len() <= 32 {
+        row.iter().position(|&x| x == v).map(|p| start + p)
+    } else {
+        row.binary_search(&v).ok().map(|p| start + p)
+    }
+}
+
+/// Initial cached entry and shift-register state of an implicit packet from
+/// logical `s` to logical `t` under the implicit context `(imp_place,
+/// imp_mask)` — O(h). Returns `(entry, pos, rem)`; a terminal entry (see
+/// [`pk_terminal`]) means the packet is born on its target. Shared by the
+/// single-table and sharded engines.
+pub(crate) fn implicit_entry_in(
+    machine: &PhysicalMachine,
+    imp_place: &[u32],
+    imp_mask: u32,
+    s: u32,
+    t: u32,
+) -> (u64, u32, u32) {
+    let src_phys = implicit_route::apply_place(imp_place, s);
+    let rem0 = implicit_route::rem_init(imp_mask.trailing_ones(), t);
+    match implicit_route::next_hop(imp_place, imp_mask, src_phys, s, rem0) {
+        None => (pk(src_phys, NO_SLOT), s, 1),
+        Some((p1, pos1, rem1)) => {
+            let slot = edge_slot_in(machine, src_phys as usize, p1)
+                // analyzer: allow(expect) -- the route was validated against this CSR by the loader; a missing shift edge is a loader bug
+                .expect("implicit routes only traverse physical links");
+            let delivers = implicit_route::route_ends_at(imp_place, imp_mask, p1, pos1, rem1);
+            (
+                pk(src_phys, slot as u32) | if delivers { DELIVERS } else { 0 },
+                pos1,
+                rem1,
+            )
+        }
+    }
 }
 
 /// Per-directed-link claim stamp and credit counter, interleaved so the
 /// examination fast path touches one cache location per link.
 #[derive(Clone, Copy, Debug)]
-struct LinkGate {
+pub(crate) struct LinkGate {
     /// The link is taken for cycle `c` while `claim == c`.
-    claim: u32,
+    pub(crate) claim: u32,
     /// Free downstream buffer slots (unused under
     /// [`FlowControl::Infinite`]).
-    credits: u32,
+    pub(crate) credits: u32,
 }
 
 /// How link buffers are sized and guarded.
@@ -177,6 +162,25 @@ pub enum FaultResponse {
     RerouteAdaptive,
 }
 
+/// How oblivious routes are represented per packet. Reports are
+/// byte-identical either way (enforced by the differential suite); the
+/// choice only moves memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RouteSource {
+    /// O(1) route state per packet (default): a packed current entry plus
+    /// the digit-shift register of [`super::implicit_route`]. Adaptive
+    /// loads and mid-run re-routes still materialize (their paths are BFS
+    /// results, not shift-register walks) into the shared side arena.
+    #[default]
+    Implicit,
+    /// The pre-PR-7 behaviour: every packet's full physical path is
+    /// materialized at load, O(h) entries per packet. Retained as the
+    /// differential-testing reference and for exotic loads the generator
+    /// cannot express (a second oblivious load through a different
+    /// placement also falls back here).
+    Materialized,
+}
+
 /// Knobs for a congestion run.
 #[derive(Clone, Copy, Debug)]
 pub struct CongestionConfig {
@@ -191,6 +195,10 @@ pub struct CongestionConfig {
     /// Scan discipline: event-driven wake lists (default) or the retained
     /// naive rescan. Reports are byte-identical either way.
     pub engine: EngineKind,
+    /// Route representation for oblivious loads: implicit O(1) shift
+    /// registers (default) or materialized O(h) paths. Reports are
+    /// byte-identical either way.
+    pub route_source: RouteSource,
 }
 
 impl Default for CongestionConfig {
@@ -200,6 +208,7 @@ impl Default for CongestionConfig {
             fault_response: FaultResponse::Drop,
             flow_control: FlowControl::Infinite,
             engine: EngineKind::WakeList,
+            route_source: RouteSource::Implicit,
         }
     }
 }
@@ -272,19 +281,50 @@ impl CongestionReport {
 pub struct CongestionSim {
     machine: PhysicalMachine,
     config: CongestionConfig,
-    // --- packet storage (flattened CSR-style paths) --------------------
-    /// Packed path entries: node | hop-slot << 32 (see [`pk`]). The hop
-    /// slot is precomputed at load/re-route time, so the cycle loop never
-    /// searches CSR rows.
+    // --- materialized route storage (side arena + segment table) --------
+    /// Packed path entries: node | hop-slot << 32 (see [`pk`]). Only
+    /// materialized route segments live here — adaptive loads, mid-run
+    /// re-route spills, and every packet under
+    /// [`RouteSource::Materialized`]. Implicit packets never touch it.
     path: Vec<u64>,
-    path_start: Vec<u32>,
-    path_end: Vec<u32>,
-    /// Load-time copies of `path_start`/`path_end`: re-routes overwrite the
-    /// live segments with spill positions, and `reset` restores from these.
-    home_start: Vec<u32>,
-    home_end: Vec<u32>,
-    /// Absolute index into `path` of each packet's current node.
+    /// Segment table (the "small side table"): `[start, end)` bounds into
+    /// `path` per materialized segment, plus the load-time bounds `reset`
+    /// restores (re-routes overwrite `start`/`end` with spill positions).
+    seg_start: Vec<u32>,
+    seg_end: Vec<u32>,
+    seg_home_start: Vec<u32>,
+    seg_home_end: Vec<u32>,
+    /// Per-packet segment index (`SEG_NONE` for implicit packets), so the
+    /// per-packet cost of materialized bookkeeping is one `u32`.
+    seg_of: Vec<u32>,
+    /// Absolute index into `path` of each packet's current node —
+    /// [`IMPLICIT_ACTIVE`] while the packet rides the digit-shift
+    /// generator, [`NEVER`] once resolved.
     cursor: Vec<u32>,
+    // --- implicit route state (O(1) per packet) -------------------------
+    /// Cached packed entry of each packet's *current* position: node, the
+    /// CSR slot of its next hop, and the `DELIVERS` flag. Valid for every
+    /// unresolved packet regardless of route source; the cycle loop reads
+    /// only this.
+    entry: Vec<u64>,
+    /// Logical shift-register position *after* the pending hop (implicit
+    /// packets only).
+    imp_pos: Vec<u32>,
+    /// Remaining target bits after the pending hop, sentinel-encoded (see
+    /// [`implicit_route::rem_init`]).
+    imp_rem: Vec<u32>,
+    /// Logical source per implicit-loaded packet (`NO_LOGICAL` otherwise):
+    /// `reset` re-derives the initial entry/register from it in O(h).
+    origin: Vec<u32>,
+    /// Logical-node mask of the implicit context (`2^h - 1`).
+    imp_mask: u32,
+    /// Logical→physical map of the implicit context as dense `u32`s; empty
+    /// = identity placement (the common healthy case stores nothing).
+    imp_place: Vec<u32>,
+    /// Whether an implicit context (mask + placement) has been captured; a
+    /// later oblivious load through a *different* context falls back to
+    /// materialized paths rather than mixing generators.
+    imp_ctx: bool,
     /// Logical target per packet (NO_LOGICAL for adaptive loads); lets the
     /// recovery driver re-target packets after a reconfiguration.
     logical_target: Vec<u32>,
@@ -306,6 +346,9 @@ pub struct CongestionSim {
     /// Length of `path` right after loading finished; `reset` truncates
     /// re-route spill segments back to this watermark.
     loaded_path_len: u32,
+    /// Segment count right after loading; `reset` truncates re-route spill
+    /// segments of implicit packets back to this watermark.
+    loaded_seg_len: u32,
     // --- dynamic faults -------------------------------------------------
     /// `(cycle, node)` pairs sorted by cycle; applied before movement.
     schedule: Vec<(u32, u32)>,
@@ -425,16 +468,25 @@ impl CongestionSim {
             inject_pos: 0,
             open_loop_sources: 0,
             path: Vec::new(),
-            path_start: Vec::new(),
-            path_end: Vec::new(),
-            home_start: Vec::new(),
-            home_end: Vec::new(),
+            seg_start: Vec::new(),
+            seg_end: Vec::new(),
+            seg_home_start: Vec::new(),
+            seg_home_end: Vec::new(),
+            seg_of: Vec::new(),
             cursor: Vec::new(),
+            entry: Vec::new(),
+            imp_pos: Vec::new(),
+            imp_rem: Vec::new(),
+            origin: Vec::new(),
+            imp_mask: 0,
+            imp_place: Vec::new(),
+            imp_ctx: false,
             logical_target: Vec::new(),
             delivered_at: Vec::new(),
             dropped_at: Vec::new(),
             resolved_at_load: Vec::new(),
             loaded_path_len: 0,
+            loaded_seg_len: 0,
             schedule: Vec::new(),
             schedule_pos: 0,
             dead: vec![false; n],
@@ -482,7 +534,7 @@ impl CongestionSim {
     /// `delivered + dropped + in_flight == injected` still holds).
     pub fn counts(&self) -> (u64, u64, u64, u64) {
         (
-            self.path_start.len() as u64,
+            self.inject_at.len() as u64,
             self.delivered,
             self.dropped,
             self.in_flight,
@@ -501,18 +553,10 @@ impl CongestionSim {
         self.machine.is_healthy(node) && !self.dead[node]
     }
 
-    /// CSR slot of directed edge `(u, v)`, mirroring `Graph::has_edge`'s
-    /// scan strategy (rows are sorted; short rows scan linearly). Only used
-    /// at load/re-route time — the cycle loop reads the packed hop slots.
+    /// CSR slot of directed edge `(u, v)`. Only used at load/re-route time —
+    /// the cycle loop reads the packed hop slots.
     fn edge_slot(&self, u: NodeId, v: u32) -> Option<usize> {
-        let (offsets, neighbors) = self.machine.graph().csr();
-        let start = offsets[u] as usize;
-        let row = &neighbors[start..offsets[u + 1] as usize];
-        if row.len() <= 32 {
-            row.iter().position(|&x| x == v).map(|p| start + p)
-        } else {
-            row.binary_search(&v).ok().map(|p| start + p)
-        }
+        edge_slot_in(&self.machine, u, v)
     }
 
     /// Fills the packed hop slots of `path[from..to]` (`to` exclusive; the
@@ -535,36 +579,17 @@ impl CongestionSim {
         }
     }
 
-    /// Appends one packet whose physical path is in `path` (consecutive
-    /// duplicates — artifacts of non-injective placements — are collapsed;
-    /// they cost no cycle and no link). `logical` records the logical
-    /// target for later re-targeting, or `NO_LOGICAL`; `inject_cycle` is
-    /// when the packet enters its source's injection queue (0 = live at
-    /// load, the batch behaviour).
-    fn push_packet(&mut self, path: &[NodeId], logical: u32, inject_cycle: u32) {
-        let id = self.path_start.len() as u32;
-        let start = self.path.len() as u32;
-        for &node in path {
-            let tail = self.path.last().copied();
-            if self.path.len() as u32 == start || tail.map_or(true, |t| pk_node(t) != node) {
-                self.path.push(node as u64);
-            }
-        }
-        let end = self.path.len() as u32;
-        debug_assert!(end > start, "a packet path holds at least its source");
-        self.pack_hop_slots(start as usize, end as usize);
-        self.path_start.push(start);
-        self.path_end.push(end);
-        self.home_start.push(start);
-        self.home_end.push(end);
-        self.cursor.push(start);
-        self.logical_target.push(logical);
+    /// Pushes the per-packet bookkeeping shared by every loader. The caller
+    /// has already set up route state (`cursor`/`entry`/segment or shift
+    /// register) for packet `id == inject_at.len()` and tells us whether
+    /// the packet has any hop to make (`zero_hop`).
+    fn push_outcome(&mut self, id: usize, zero_hop: bool, inject_cycle: u32) {
         self.inject_at.push(inject_cycle);
         self.occupied_slot.push(NO_SLOT);
         self.blocked_next.push(NONE_ID);
         self.in_network.push(false);
-        self.grow_queue_for(id as usize);
-        if end - start == 1 && inject_cycle == 0 {
+        self.grow_queue_for(id);
+        if zero_hop && inject_cycle == 0 {
             // Already at the target when injected at load: delivered at
             // injection, latency 0 (the batch semantics — loading precedes
             // any dynamic fault).
@@ -580,28 +605,85 @@ impl CongestionSim {
             self.dropped_at.push(NEVER);
             self.resolved_at_load.push(NEVER);
             if inject_cycle == 0 {
-                self.queue_now(id as usize);
-                self.in_network[id as usize] = true;
+                self.queue_now(id);
+                self.in_network[id] = true;
                 self.in_flight += 1;
             } else {
-                self.pending_inject.push(id);
+                self.pending_inject.push(id as u32);
             }
         }
+    }
+
+    /// Appends one materialized packet whose physical path is in `path`
+    /// (consecutive duplicates — artifacts of non-injective placements —
+    /// are collapsed; they cost no cycle and no link). `logical` records
+    /// the logical target for later re-targeting, or `NO_LOGICAL`;
+    /// `inject_cycle` is when the packet enters its source's injection
+    /// queue (0 = live at load, the batch behaviour).
+    fn push_packet(&mut self, path: &[NodeId], logical: u32, inject_cycle: u32) {
+        let id = self.inject_at.len();
+        let start = self.path.len() as u32;
+        for &node in path {
+            let tail = self.path.last().copied();
+            if self.path.len() as u32 == start || tail.map_or(true, |t| pk_node(t) != node) {
+                self.path.push(node as u64);
+            }
+        }
+        let end = self.path.len() as u32;
+        debug_assert!(end > start, "a packet path holds at least its source");
+        self.pack_hop_slots(start as usize, end as usize);
+        let seg = self.seg_start.len() as u32;
+        self.seg_start.push(start);
+        self.seg_end.push(end);
+        self.seg_home_start.push(start);
+        self.seg_home_end.push(end);
+        self.seg_of.push(seg);
+        self.cursor.push(start);
+        self.entry.push(self.path[start as usize]);
+        self.imp_pos.push(0);
+        self.imp_rem.push(0);
+        self.origin.push(NO_LOGICAL);
+        self.logical_target.push(logical);
+        self.push_outcome(id, end - start == 1, inject_cycle);
+    }
+
+    /// Initial cached entry and shift-register state of an implicit packet
+    /// from logical `s` to logical `t` under the captured context — O(h),
+    /// used at load and by `reset`. Returns `(entry, pos, rem)`; a terminal
+    /// entry (see [`pk_terminal`]) means the packet is born on its target.
+    fn implicit_entry(&self, s: u32, t: u32) -> (u64, u32, u32) {
+        implicit_entry_in(&self.machine, &self.imp_place, self.imp_mask, s, t)
+    }
+
+    /// Appends one implicit packet: O(1) route state derived from the
+    /// digit-shift generator over the captured implicit context. The route
+    /// was already validated by the loader (`s`/`t` are logical endpoints).
+    fn push_packet_implicit(&mut self, s: u32, t: u32, inject_cycle: u32) {
+        let id = self.inject_at.len();
+        let (entry, pos, rem) = self.implicit_entry(s, t);
+        let zero_hop = pk_terminal(entry);
+        self.entry.push(entry);
+        self.imp_pos.push(pos);
+        self.imp_rem.push(rem);
+        self.cursor.push(IMPLICIT_ACTIVE);
+        self.seg_of.push(SEG_NONE);
+        self.origin.push(s);
+        self.logical_target.push(t);
+        self.push_outcome(id, zero_hop, inject_cycle);
     }
 
     /// Records a packet that could not be routed at load time: it is
     /// injected and immediately dropped (mirroring the static kernels'
     /// accounting, where infeasible packets count as dropped).
     fn push_dead_packet(&mut self, source_hint: NodeId, inject_cycle: u32) {
-        let start = self.path.len() as u32;
-        let id = self.path_start.len();
+        let id = self.inject_at.len();
         self.grow_queue_for(id);
-        self.path.push(pk(source_hint as u32, NO_SLOT));
-        self.path_start.push(start);
-        self.path_end.push(start + 1);
-        self.home_start.push(start);
-        self.home_end.push(start + 1);
-        self.cursor.push(start);
+        self.seg_of.push(SEG_NONE);
+        self.cursor.push(NEVER);
+        self.entry.push(pk(source_hint as u32, NO_SLOT));
+        self.imp_pos.push(0);
+        self.imp_rem.push(1);
+        self.origin.push(NO_LOGICAL);
         self.logical_target.push(NO_LOGICAL);
         self.inject_at.push(inject_cycle);
         self.occupied_slot.push(NO_SLOT);
@@ -611,6 +693,44 @@ impl CongestionSim {
         self.dropped_at.push(inject_cycle);
         self.resolved_at_load.push(inject_cycle);
         self.dropped += 1;
+    }
+
+    /// Captures (or checks) the implicit-routing context for an oblivious
+    /// load: the logical mask and the placement map. Returns true when the
+    /// load can use the digit-shift generator; a context mismatch (second
+    /// load through a different placement or radix) falls back to
+    /// materialized paths so the generator state stays well-defined.
+    fn capture_implicit_ctx(&mut self, db: &DeBruijn2, placement: &Embedding) -> bool {
+        if self.config.route_source == RouteSource::Materialized {
+            return false;
+        }
+        let mask = (db.node_count() - 1) as u32;
+        let identity = placement
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i == v);
+        if self.imp_ctx {
+            let same_place = if identity {
+                self.imp_place.is_empty()
+            } else {
+                self.imp_place.len() == placement.len()
+                    && placement
+                        .as_slice()
+                        .iter()
+                        .zip(self.imp_place.iter())
+                        .all(|(&a, &b)| a as u32 == b)
+            };
+            return self.imp_mask == mask && same_place;
+        }
+        self.imp_ctx = true;
+        self.imp_mask = mask;
+        self.imp_place.clear();
+        if !identity {
+            self.imp_place
+                .extend(placement.as_slice().iter().map(|&v| v as u32));
+        }
+        true
     }
 
     /// Loads a workload of logical pairs routed with the oblivious de
@@ -623,9 +743,13 @@ impl CongestionSim {
         placement: &Embedding,
         pairs: &[(NodeId, NodeId)],
     ) {
+        let implicit = self.capture_implicit_ctx(db, placement);
         let mut path = Vec::with_capacity(db.h() + 1);
-        self.reserve_for(pairs.len(), db.h() + 1);
+        self.reserve_for(pairs.len(), if implicit { 0 } else { db.h() + 1 });
         for &(s, t) in pairs {
+            // The validation walk (health + link checks per hop) runs either
+            // way; only the *storage* differs — implicit packets keep two
+            // words of shift-register state instead of the walked path.
             match crate::routing::route_logical_debruijn_into(
                 db,
                 placement,
@@ -634,6 +758,7 @@ impl CongestionSim {
                 t,
                 &mut path,
             ) {
+                Ok(_) if implicit => self.push_packet_implicit(s as u32, t as u32, 0),
                 Ok(_) => self.push_packet(&path, t as u32, 0),
                 Err(_) => {
                     let hint = if s < placement.len() {
@@ -646,6 +771,7 @@ impl CongestionSim {
             }
         }
         self.loaded_path_len = self.path.len() as u32;
+        self.loaded_seg_len = self.seg_start.len() as u32;
     }
 
     /// Loads an open-loop workload: `(inject_cycle, source, target)` logical
@@ -682,8 +808,9 @@ impl CongestionSim {
                 self.inject_at[last as usize]
             );
         }
+        let implicit = self.capture_implicit_ctx(db, placement);
         let mut path = Vec::with_capacity(db.h() + 1);
-        self.reserve_for(injections.len(), db.h() + 1);
+        self.reserve_for(injections.len(), if implicit { 0 } else { db.h() + 1 });
         self.pending_inject.reserve(injections.len());
         self.open_loop_sources = db.node_count() as u32;
         for &(cycle, s, t) in injections {
@@ -695,6 +822,7 @@ impl CongestionSim {
                 t,
                 &mut path,
             ) {
+                Ok(_) if implicit => self.push_packet_implicit(s as u32, t as u32, cycle),
                 Ok(_) => self.push_packet(&path, t as u32, cycle),
                 Err(_) => {
                     let hint = if s < placement.len() {
@@ -707,6 +835,7 @@ impl CongestionSim {
             }
         }
         self.loaded_path_len = self.path.len() as u32;
+        self.loaded_seg_len = self.seg_start.len() as u32;
     }
 
     /// Loads a workload of *physical* pairs routed adaptively (BFS through
@@ -723,17 +852,18 @@ impl CongestionSim {
             }
         }
         self.loaded_path_len = self.path.len() as u32;
+        self.loaded_seg_len = self.seg_start.len() as u32;
     }
 
     fn reserve_for(&mut self, packets: usize, hops_guess: usize) {
         self.path.reserve(packets * hops_guess);
         for v in [
-            &mut self.path_start,
-            &mut self.path_end,
-            &mut self.home_start,
-            &mut self.home_end,
             &mut self.cursor,
             &mut self.logical_target,
+            &mut self.imp_pos,
+            &mut self.imp_rem,
+            &mut self.origin,
+            &mut self.seg_of,
             &mut self.inject_at,
             &mut self.occupied_slot,
             &mut self.blocked_next,
@@ -745,10 +875,11 @@ impl CongestionSim {
         ] {
             v.reserve(packets);
         }
+        self.entry.reserve(packets);
         self.in_network.reserve(packets);
         // The work-queue bitmaps cover every loaded packet (one bit each),
         // so sizing them here keeps the cycle loop allocation-free.
-        let words = (self.path_start.len() + packets).div_ceil(64);
+        let words = (self.inject_at.len() + packets).div_ceil(64);
         self.queued_now
             .reserve(words.saturating_sub(self.queued_now.len()));
         self.queued_next
@@ -958,11 +1089,11 @@ impl CongestionSim {
                 break;
             }
             self.inject_pos += 1;
-            let source = pk_node(self.path[self.cursor[id] as usize]);
+            let source = pk_node(self.entry[id]);
             if !self.is_alive(source) {
                 self.dropped_at[id] = self.cycle;
                 self.dropped += 1;
-            } else if self.cursor[id] + 1 == self.path_end[id] {
+            } else if pk_terminal(self.entry[id]) {
                 // Already at the target: consumed at injection.
                 self.delivered_at[id] = self.cycle;
                 self.delivered += 1;
@@ -1044,7 +1175,7 @@ impl CongestionSim {
             // occupy and are skipped lazily at examination time.
             let cycle = self.cycle;
             for id in 0..self.in_network.len() {
-                if self.in_network[id] && self.dead[pk_node(self.path[self.cursor[id] as usize])] {
+                if self.in_network[id] && self.dead[pk_node(self.entry[id])] {
                     self.resolve_dropped(id, cycle);
                 }
             }
@@ -1058,12 +1189,59 @@ impl CongestionSim {
         killed
     }
 
+    /// The physical node live packet `id`'s route ends on — where a
+    /// re-route must aim. For an implicit packet that is the placement
+    /// image of its logical target (exactly the materialized path's last
+    /// node, by construction); for a materialized packet, the segment's
+    /// final entry.
+    // analyzer: alloc-free
+    fn route_target(&self, id: usize) -> NodeId {
+        if self.cursor[id] == IMPLICIT_ACTIVE {
+            implicit_route::apply_place(&self.imp_place, self.logical_target[id]) as usize
+        } else {
+            let seg = self.seg_of[id] as usize;
+            pk_node(self.path[self.seg_end[seg] as usize - 1])
+        }
+    }
+
+    /// Advances packet `id` past the hop it just won: `next_node` (the CSR
+    /// target of the crossed slot) becomes its current node and the cached
+    /// entry is recomputed — an O(1) shift-register step for implicit
+    /// packets, a cursor bump for materialized ones. Never called on a
+    /// delivering hop.
+    #[inline]
+    // analyzer: alloc-free
+    fn advance_route(&mut self, id: usize, crossed_slot: usize) {
+        let next_node = self.machine.graph().csr().1[crossed_slot];
+        let at = self.cursor[id];
+        if at == IMPLICIT_ACTIVE {
+            let (pos, rem) = (self.imp_pos[id], self.imp_rem[id]);
+            let (p2, pos2, rem2) =
+                implicit_route::next_hop(&self.imp_place, self.imp_mask, next_node, pos, rem)
+                    // analyzer: allow(expect) -- the crossed entry lacked DELIVERS, so the register provably holds another hop
+                    .expect("a non-delivering hop always has a successor");
+            let slot = self
+                .edge_slot(next_node as usize, p2)
+                // analyzer: allow(expect) -- the loader validated every shift edge of this route against this CSR
+                .expect("implicit routes only traverse physical links");
+            let delivers =
+                implicit_route::route_ends_at(&self.imp_place, self.imp_mask, p2, pos2, rem2);
+            self.entry[id] = pk(next_node, slot as u32) | if delivers { DELIVERS } else { 0 };
+            self.imp_pos[id] = pos2;
+            self.imp_rem[id] = rem2;
+        } else {
+            let next = at + 1;
+            self.cursor[id] = next;
+            self.entry[id] = self.path[next as usize];
+        }
+    }
+
     /// Replaces the remaining path of live packet `id` with a BFS route
     /// from its current node to `target`, re-deriving the packed hop slots
     /// for the new suffix. Returns false (and leaves the packet untouched)
     /// when no healthy path exists.
     fn reroute_packet(&mut self, id: usize, target: NodeId) -> bool {
-        let here = pk_node(self.path[self.cursor[id] as usize]);
+        let here = pk_node(self.entry[id]);
         // Split the borrows: BFS needs &self.machine + &mut scratch.
         let machine = &self.machine;
         let dead = &self.dead;
@@ -1077,17 +1255,30 @@ impl CongestionSim {
         if !found {
             return false;
         }
-        // Spill the new path segment; the pre-fault spans stay in place
-        // (only `reset` reclaims the spill, by truncating to the load
-        // watermark).
+        // Spill the new path segment into the side table; pre-fault spans
+        // stay in place (only `reset` reclaims the spill, by truncating to
+        // the load watermarks). An implicit packet materializes here — the
+        // adaptive route is not digit-shift-recomputable — by taking a
+        // fresh segment whose home spans are NEVER (reset re-derives its
+        // original route from `origin` instead).
         let start = self.path.len() as u32;
         self.path
             .extend(self.reroute_path.iter().map(|&v| v as u64));
         let end = self.path.len();
         self.pack_hop_slots(start as usize, end);
-        self.path_start[id] = start;
-        self.path_end[id] = end as u32;
+        let seg = self.seg_of[id];
+        if seg == SEG_NONE {
+            self.seg_of[id] = self.seg_start.len() as u32;
+            self.seg_start.push(start);
+            self.seg_end.push(end as u32);
+            self.seg_home_start.push(NEVER);
+            self.seg_home_end.push(NEVER);
+        } else {
+            self.seg_start[seg as usize] = start;
+            self.seg_end[seg as usize] = end as u32;
+        }
         self.cursor[id] = start;
+        self.entry[id] = self.path[start as usize];
         true
     }
 
@@ -1109,7 +1300,7 @@ impl CongestionSim {
                 continue;
             }
             let target = placement.apply(logical as usize);
-            let here = pk_node(self.path[self.cursor[id] as usize]);
+            let here = pk_node(self.entry[id]);
             if here == target {
                 self.resolve_delivered(id, cycle);
                 delivered_in_place += 1;
@@ -1173,14 +1364,17 @@ impl CongestionSim {
             while word != 0 {
                 let id = base + word.trailing_zeros() as usize;
                 word &= word - 1;
-                let at = self.cursor[id];
-                if at == NEVER {
+                if self.cursor[id] == NEVER {
                     // Resolved while queued (fault kill, re-target): skip.
                     continue;
                 }
-                let at = at as usize;
+                let entry = self.entry[id];
+                let slot = pk_slot(entry) as usize;
                 if hazard {
-                    let next = pk_node(self.path[at + 1]);
+                    // The next node on the route is the CSR target of the
+                    // cached hop slot (for materialized packets this equals
+                    // the next path entry's node by construction).
+                    let next = self.machine.graph().csr().1[slot] as usize;
                     if self.dead[next] {
                         // The precomputed route runs into a node that died
                         // after the route was computed.
@@ -1190,12 +1384,12 @@ impl CongestionSim {
                                 continue;
                             }
                             FaultResponse::RerouteAdaptive => {
-                                let target = pk_node(self.path[self.path_end[id] as usize - 1]);
+                                let target = self.route_target(id);
                                 if !self.is_alive(target) || !self.reroute_packet(id, target) {
                                     self.resolve_dropped(id, stamp);
                                     continue;
                                 }
-                                if self.cursor[id] + 1 == self.path_end[id] {
+                                if self.cursor[id] + 1 == self.seg_end[self.seg_of[id] as usize] {
                                     // The oblivious route revisited the target
                                     // and the packet was sitting on it: the
                                     // re-route is the empty path, so it is
@@ -1210,9 +1404,7 @@ impl CongestionSim {
                         }
                     }
                 }
-                let entry = self.path[at];
                 let here = pk_node(entry);
-                let slot = pk_slot(entry) as usize;
                 let port_free = !single_port || self.node_claim[here] != stamp;
                 let gate = self.links[slot];
                 let credit_free = !credit_based || gate.credits > 0;
@@ -1240,12 +1432,12 @@ impl CongestionSim {
                     self.link_flits[slot] += 1;
                     self.total_flits += 1;
                     moved += 1;
-                    self.cursor[id] = (at + 1) as u32;
                     if entry & DELIVERS != 0 {
                         // Consumed at the target: the just-taken slot drains
                         // too (its credit also returns next cycle).
                         self.resolve_delivered(id, stamp);
                     } else {
+                        self.advance_route(id, slot);
                         self.queued_next[wi] |= 1u64 << (id & 63);
                     }
                 } else if park
@@ -1368,7 +1560,7 @@ impl CongestionSim {
         self.ensure_latencies_sorted();
         CongestionReport {
             cycles: self.cycle,
-            injected: self.path_start.len() as u64,
+            injected: self.inject_at.len() as u64,
             delivered: self.delivered,
             dropped: self.dropped,
             total_flits: self.total_flits,
@@ -1471,14 +1663,40 @@ impl CongestionSim {
     /// counting-allocator harness.
     pub fn reset(&mut self) {
         self.path.truncate(self.loaded_path_len as usize);
+        let segs = self.loaded_seg_len as usize;
+        self.seg_start.truncate(segs);
+        self.seg_end.truncate(segs);
+        self.seg_home_start.truncate(segs);
+        self.seg_home_end.truncate(segs);
         self.rewind_cycle_state();
-        for id in 0..self.path_start.len() {
-            // Restore the load-time route segment: a mid-run re-route
-            // repointed this packet at a spill region that the truncation
-            // above just reclaimed.
-            self.path_start[id] = self.home_start[id];
-            self.path_end[id] = self.home_end[id];
-            self.cursor[id] = self.path_start[id];
+        // Restore the load-time bounds of every surviving segment: a
+        // mid-run re-route repointed it at a spill region that the
+        // truncations above just reclaimed.
+        for s in 0..segs {
+            self.seg_start[s] = self.seg_home_start[s];
+            self.seg_end[s] = self.seg_home_end[s];
+        }
+        for id in 0..self.inject_at.len() {
+            // An implicit packet that materialized mid-run took a spill
+            // segment past the load watermark; it goes back to riding the
+            // generator.
+            if self.seg_of[id] != SEG_NONE && self.seg_of[id] >= self.loaded_seg_len {
+                self.seg_of[id] = SEG_NONE;
+            }
+            if self.resolved_at_load[id] == NEVER {
+                if self.origin[id] != NO_LOGICAL {
+                    let (entry, pos, rem) =
+                        self.implicit_entry(self.origin[id], self.logical_target[id]);
+                    self.entry[id] = entry;
+                    self.imp_pos[id] = pos;
+                    self.imp_rem[id] = rem;
+                    self.cursor[id] = IMPLICIT_ACTIVE;
+                } else {
+                    let start = self.seg_start[self.seg_of[id] as usize];
+                    self.cursor[id] = start;
+                    self.entry[id] = self.path[start as usize];
+                }
+            }
             self.occupied_slot[id] = NO_SLOT;
             self.in_network[id] = false;
             if self.resolved_at_load[id] == NEVER {
@@ -1510,12 +1728,17 @@ impl CongestionSim {
     pub fn clear_workload(&mut self) {
         self.rewind_cycle_state();
         self.path.clear();
+        self.entry.clear();
         for v in [
-            &mut self.path_start,
-            &mut self.path_end,
-            &mut self.home_start,
-            &mut self.home_end,
+            &mut self.seg_start,
+            &mut self.seg_end,
+            &mut self.seg_home_start,
+            &mut self.seg_home_end,
+            &mut self.seg_of,
             &mut self.cursor,
+            &mut self.imp_pos,
+            &mut self.imp_rem,
+            &mut self.origin,
             &mut self.logical_target,
             &mut self.inject_at,
             &mut self.occupied_slot,
@@ -1533,6 +1756,35 @@ impl CongestionSim {
         self.schedule.clear();
         self.open_loop_sources = 0;
         self.loaded_path_len = 0;
+        self.loaded_seg_len = 0;
+        // The implicit context dies with the workload: the next load may
+        // come through a different placement or radix.
+        self.imp_ctx = false;
+        self.imp_mask = 0;
+        self.imp_place.clear();
+    }
+
+    /// Bytes of heap capacity currently devoted to per-packet route state —
+    /// the path arena, segment table, cached entries, shift registers and
+    /// cursors. Implicit workloads keep this O(packets) regardless of `h`;
+    /// materialized ones pay O(packets × h) for the arena. Reported into
+    /// `BENCH_perf.json` by the perf harness so the implicit-routing win is
+    /// a tracked number.
+    pub fn route_state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.path.capacity() * size_of::<u64>()
+            + self.entry.capacity() * size_of::<u64>()
+            + (self.seg_start.capacity()
+                + self.seg_end.capacity()
+                + self.seg_home_start.capacity()
+                + self.seg_home_end.capacity()
+                + self.seg_of.capacity()
+                + self.cursor.capacity()
+                + self.imp_pos.capacity()
+                + self.imp_rem.capacity()
+                + self.origin.capacity()
+                + self.imp_place.capacity())
+                * size_of::<u32>()
     }
 }
 
@@ -1697,21 +1949,74 @@ pub struct OpenLoopReport {
     pub cycles: u32,
 }
 
-/// Drives a sim already loaded with an open-loop schedule (see
+/// The driver-facing surface of a congestion engine: everything the
+/// open-loop measurement and sweep drivers need, implemented by both the
+/// single-table [`CongestionSim`] and the sharded
+/// [`super::shard::ShardedSim`] (which must produce byte-identical results
+/// for any shard count).
+pub trait CongestionEngine {
+    /// Steps until cycle `horizon`, the workload drains, or a hard deadlock
+    /// is proven.
+    fn run_until(&mut self, horizon: u32);
+    /// `(injected, delivered, dropped, in_flight)` so far.
+    fn counts(&self) -> (u64, u64, u64, u64);
+    /// Per-packet `(inject_cycle, delivered_cycle, dropped_cycle)` with
+    /// `None` for "not (yet)"; `id` indexes packets in load order.
+    fn packet_outcome(&self, id: usize) -> (u32, Option<u32>, Option<u32>);
+    /// The current cycle.
+    fn cycle(&self) -> u32;
+    /// Whether the run ended in a proven hard buffer deadlock.
+    fn deadlocked(&self) -> bool;
+    /// Logical sources behind the last timed load (0 = none loaded).
+    fn open_loop_sources(&self) -> u32;
+    /// Physical node count of the machine.
+    fn node_count(&self) -> usize;
+    /// The final report (sorts latencies on first call).
+    fn report(&mut self) -> CongestionReport;
+}
+
+impl CongestionEngine for CongestionSim {
+    fn run_until(&mut self, horizon: u32) {
+        CongestionSim::run_until(self, horizon);
+    }
+    fn counts(&self) -> (u64, u64, u64, u64) {
+        CongestionSim::counts(self)
+    }
+    fn packet_outcome(&self, id: usize) -> (u32, Option<u32>, Option<u32>) {
+        CongestionSim::packet_outcome(self, id)
+    }
+    fn cycle(&self) -> u32 {
+        CongestionSim::cycle(self)
+    }
+    fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+    fn open_loop_sources(&self) -> u32 {
+        self.open_loop_sources
+    }
+    fn node_count(&self) -> usize {
+        self.machine.node_count()
+    }
+    fn report(&mut self) -> CongestionReport {
+        CongestionSim::report(self)
+    }
+}
+
+/// Drives an engine already loaded with an open-loop schedule (see
 /// [`CongestionSim::load_oblivious_timed`]) to the spec's horizon and
 /// computes the measurement-window statistics. The cycle loop is
 /// allocation-free; the statistics pass at the end allocates (latency sort,
 /// histogram). Reusable after [`CongestionSim::reset`].
 pub fn measure_open_loop(
-    sim: &mut CongestionSim,
+    sim: &mut impl CongestionEngine,
     spec: &crate::workload::OpenLoopSpec,
 ) -> OpenLoopReport {
     // Rates are per logical source: on a B^k(2,h) host the machine has
     // 2^h + k processors but only the 2^h logical nodes inject.
-    let n = if sim.open_loop_sources > 0 {
-        sim.open_loop_sources as u64
+    let n = if sim.open_loop_sources() > 0 {
+        sim.open_loop_sources() as u64
     } else {
-        sim.machine().node_count() as u64
+        sim.node_count() as u64
     };
     let (w0, w1) = spec.window();
     sim.run_until(spec.horizon());
@@ -1765,7 +2070,7 @@ pub fn measure_open_loop(
         window_delivered,
         cum_injected_by_window_end,
         cum_delivered_by_window_end,
-        deadlocked: sim.deadlocked,
+        deadlocked: sim.deadlocked(),
         cycles: sim.cycle(),
     }
 }

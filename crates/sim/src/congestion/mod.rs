@@ -1,0 +1,112 @@
+//! Cycle-level congestion engine with dynamic fault injection.
+//!
+//! The static routing kernels in [`crate::routing`] answer *feasibility*
+//! questions — can this packet reach its target, and over how many hops? The
+//! paper's slowdown claims (SIM1/SIM2, the Section V "factor of 2" port
+//! argument) are about *time under contention*, which feasibility cannot
+//! see. This module adds the missing time dimension:
+//!
+//! * Packets advance **one hop per cycle** along a precomputed physical
+//!   route (oblivious de Bruijn or adaptive BFS).
+//! * Each **directed link carries at most one flit per cycle**.
+//! * Per-node output arbitration follows the machine's [`PortModel`]:
+//!   `SinglePort` processors send at most one flit per cycle in total
+//!   (injection or forwarding), `MultiPort` processors send one per incident
+//!   link — exactly the distinction Section V prices at "a factor of 2".
+//! * Blocked packets wait in store-and-forward buffers. Under the default
+//!   [`FlowControl::Infinite`] those buffers are unbounded FIFO queues;
+//!   under [`FlowControl::CreditBased`] every directed link owns a bounded
+//!   downstream input buffer guarded by a credit counter — a flit advances
+//!   only when the downstream buffer has a free slot, and the credit
+//!   returns one cycle after the slot drains. Bounded buffers are what let
+//!   the engine reproduce saturation *collapse* (tree saturation,
+//!   head-of-line blocking, and — with no virtual channels yet — genuine
+//!   buffer deadlock, reported via [`CongestionReport::deadlocked`]), not
+//!   just saturation throughput. (No virtual channels, no
+//!   wormhole/cut-through — see ROADMAP "Open items".)
+//!
+//! Arbitration is deterministic oldest-first: packets are visited in age
+//! order every cycle, and a packet claims its output port and link for the
+//! cycle when it moves. Since the first examined packet always finds all
+//! resources free, at least one flit moves per cycle and every run
+//! terminates within `total-remaining-hops` cycles (or proves a deadlock).
+//!
+//! **Event-driven wake-list core.** Near saturation — where the offered-load
+//! sweeps spend almost all their cycles — most live packets are blocked on a
+//! full downstream buffer, and rescanning them every cycle is wasted work.
+//! The engine therefore only examines packets whose gating resources could
+//! have changed since their last examination:
+//!
+//! * A packet that fails on a **multi-cycle resource** (zero credits on its
+//!   next link's buffer) parks on that link slot's blocked queue (an
+//!   intrusive list over `blocked_head`/`blocked_next`) and is woken only
+//!   when a credit returns to the slot — on ordinary credit return, on a
+//!   fault kill releasing a dead processor's buffers, or on a drop/delivery
+//!   draining the slot.
+//! * A packet that fails on a **per-cycle resource** (output port taken
+//!   under `SinglePort`, link claimed by an older packet) is re-examined
+//!   the next cycle, when that claim expires — the cycle boundary *is* the
+//!   release event for per-cycle resources, so their "blocked queue" is the
+//!   next cycle's examination list.
+//! * Rare whole-network events (a fault firing, a recovery driver
+//!   re-targeting in-flight packets) wake every parked packet, because they
+//!   can invalidate any packet's next hop.
+//!
+//! Because parked packets provably cannot move (credits only decrease within
+//! a cycle), skipping them leaves every claim decision — and therefore every
+//! report — byte-identical to the naive full rescan. The rescan is retained
+//! as [`EngineKind::NaiveScan`] and the equivalence is enforced by a
+//! differential property test (`tests/tests/wakelist_differential.rs`).
+//! Wake-list bookkeeping aside, the hot path also precomputes each hop's CSR
+//! link slot next to the node (one packed `u64` per path entry), so the
+//! per-move neighbour search of earlier revisions is gone.
+//!
+//! **Dynamic faults.** A fault schedule (`Vec<(cycle, node)>`) kills
+//! processors *mid-run*. A packet sitting on a dying node is lost with it.
+//! A packet that later tries to enter a dead node reacts according to the
+//! configured [`FaultResponse`]: dropped, or re-routed in place by a BFS
+//! through the surviving machine. On a fault-tolerant machine the driver
+//! [`run_recovery`] goes further: it performs the paper's online
+//! reconfiguration (`reconfigure_verified`) the cycle the fault fires,
+//! re-targets every in-flight packet at the logical target's new physical
+//! image, and drains — measuring *recovery latency*, not just post-hoc
+//! embeddability.
+//!
+//! The steady-state cycle loop is allocation-free after loading, in the
+//! spirit of PR 2: claims are epoch-stamped arrays indexed by CSR edge
+//! slot, the examination lists and blocked queues are sized at load, and
+//! [`CongestionSim::reset`] rewinds a loaded workload for reuse without
+//! touching the allocator ([`CongestionSim::clear_workload`] additionally
+//! lets one warmed engine serve a whole sweep of different workloads).
+//!
+//! **Implicit O(1) routing.** Oblivious de Bruijn routes are shift-register
+//! walks: hop `i` of the route from `s` to `t` is computable in O(1) from
+//! the current label and the remaining target bits, so the engine does not
+//! need to materialize paths at all. [`implicit_route`] holds the digit-shift
+//! next-hop generators (de Bruijn and shuffle-exchange); under the default
+//! [`RouteSource::Implicit`] a packet carries O(1) route state (a packed
+//! current entry plus a two-word shift register) instead of O(h) path
+//! entries, which is what makes million-node runs fit in memory. Adaptive
+//! loads and mid-run re-routes fall back to materialized segments spliced
+//! into a shared side arena ([`RouteSource::Materialized`] forces the old
+//! representation everywhere; the differential suite proves the two
+//! byte-identical).
+//!
+//! **Sharded engine.** [`ShardedSim`] partitions the CSR graph along the
+//! de Bruijn label-prefix (necklace) cut, gives each shard its own wake-list
+//! core, and exchanges boundary flits/credits at cycle barriers over
+//! channels with a deterministic (shard-id, packet-age) merge — the
+//! [`CongestionReport`] is byte-identical to [`CongestionSim`] for any shard
+//! count. See [`shard`] and [`boundary`].
+
+pub mod boundary;
+mod engine;
+pub mod implicit_route;
+pub mod shard;
+
+pub use engine::{
+    measure_open_loop, run_open_loop, run_recovery, CongestionConfig, CongestionEngine,
+    CongestionReport, CongestionSim, CycleEvents, EngineKind, FaultResponse, FlowControl,
+    OpenLoopReport, RecoveryOutcome, RouteSource,
+};
+pub use shard::ShardedSim;

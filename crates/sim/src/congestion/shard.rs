@@ -1,0 +1,1596 @@
+//! The sharded congestion engine: [`ShardedSim`] partitions the machine's
+//! nodes into contiguous label ranges (the de Bruijn prefix cut, see
+//! [`super::boundary`]), runs one wake-list core per shard, and exchanges
+//! boundary flits and credit returns at cycle barriers. Its
+//! [`CongestionReport`] is byte-identical to [`super::CongestionSim`]'s for
+//! any shard count and thread count — enforced by the differential suite
+//! and the CI shard-determinism job.
+//!
+//! Why equivalence holds: every resource a packet contends for in a cycle —
+//! its node's output port, its outgoing link's claim stamp, that link's
+//! downstream credits — is a function of the packet's *current* node, so it
+//! is owned by exactly one shard and arbitration never races. Per-shard
+//! examination in ascending packet id equals the global id order restricted
+//! to each shard, and winners are decided per-resource, so splitting the
+//! scan changes nothing. Credit returns already take effect one cycle late
+//! in the single-table engine, which makes barrier shipping invisible; a
+//! migrating packet is examined again only on the following cycle, exactly
+//! like a mover in the single engine.
+//!
+//! The sharded engine only carries implicit (O(1)) route state per packet —
+//! materialized segments appear only as re-route spills — and does not
+//! support `reset`, recovery re-targeting, or adaptive loads; use
+//! [`super::CongestionSim`] for those.
+
+use super::boundary::{shard_floor, shard_of, BoundaryBatch, Flit};
+use super::engine::{
+    edge_slot_in, implicit_entry_in, pk, pk_node, pk_slot, pk_terminal, CongestionConfig,
+    CongestionEngine, CongestionReport, EngineKind, FaultResponse, FlowControl, LinkGate,
+    RouteSource, DELIVERS, IMPLICIT_ACTIVE, NEVER, NONE_ID, NO_LOGICAL, NO_SLOT,
+};
+use super::implicit_route;
+use crate::machine::{PhysicalMachine, PortModel};
+use crate::metrics::LatencySummary;
+use ftdb_graph::traversal::Searcher;
+use ftdb_graph::{Embedding, NodeId};
+use ftdb_topology::DeBruijn2;
+
+/// Resolution code: packet dropped while in the network.
+const RES_DROPPED: u8 = 0;
+/// Resolution code: packet delivered while in the network.
+const RES_DELIVERED: u8 = 1;
+/// Resolution code: dropped at injection (source died first) — never
+/// entered the network, so the driver must not decrement `live`.
+const RES_DROPPED_AT_INJECT: u8 = 2;
+/// Resolution code: delivered at injection (born on its target).
+const RES_DELIVERED_AT_INJECT: u8 = 3;
+
+/// Read-only cycle context shared by every shard core (and, in threaded
+/// runs, by every worker thread).
+struct ShardCtx<'a> {
+    machine: &'a PhysicalMachine,
+    /// First global CSR slot of each shard; length `shards + 1`.
+    slot_start: &'a [u32],
+    inject_at: &'a [u32],
+    logical_target: &'a [u32],
+    imp_place: &'a [u32],
+    imp_mask: u32,
+    n: usize,
+    shards: usize,
+    single_port: bool,
+    park: bool,
+    fault_response: FaultResponse,
+}
+
+/// One shard's share of the engine state. Link-slot state (`links`,
+/// `pending_credit`, blocked queues) is indexed by *local* slot id
+/// (`global - slot_lo`); packet arrays span the full id space so global
+/// packet ids index directly (a packet is *hosted* by the shard owning its
+/// current node — `cursor != NEVER` exactly there).
+struct ShardCore {
+    node_lo: usize,
+    node_hi: usize,
+    slot_lo: usize,
+    slot_hi: usize,
+    flow_depth: u32,
+    // --- local link state (local slot ids) ------------------------------
+    links: Vec<LinkGate>,
+    pending_credit: Vec<u32>,
+    pending_slots: Vec<u32>,
+    blocked_head: Vec<u32>,
+    blocked_tail: Vec<u32>,
+    served_slots: Vec<u32>,
+    // --- local node state ------------------------------------------------
+    node_claim: Vec<u32>,
+    // --- dynamic faults (full copies: hazard checks need remote deads) ---
+    dead: Vec<bool>,
+    dead_list: Vec<u32>,
+    schedule: Vec<(u32, u32)>,
+    schedule_pos: usize,
+    // --- packet state (full id space; valid while hosted here) -----------
+    entry: Vec<u64>,
+    imp_pos: Vec<u32>,
+    imp_rem: Vec<u32>,
+    /// `NEVER` = resolved or hosted elsewhere, [`IMPLICIT_ACTIVE`] = riding
+    /// the digit-shift generator, else an index into the local `arena`.
+    cursor: Vec<u32>,
+    /// Local-arena end of a materialized (re-routed/migrated) segment.
+    seg_end: Vec<u32>,
+    /// *Global* CSR slot of the buffer the packet occupies (may belong to
+    /// another shard after a migration; credits route home at the barrier).
+    occupied_slot: Vec<u32>,
+    blocked_next: Vec<u32>,
+    in_network: Vec<bool>,
+    queued_now: Vec<u64>,
+    queued_next: Vec<u64>,
+    /// Local path arena for re-route spills and migrated-in segments.
+    arena: Vec<u64>,
+    // --- injection (home-shard packets only) ------------------------------
+    pending_inject: Vec<u32>,
+    inject_pos: usize,
+    // --- per-cycle outputs ------------------------------------------------
+    /// `(id, cycle, RES_*)` resolutions this cycle, drained by the driver.
+    resolved: Vec<(u32, u32, u8)>,
+    /// Outbound flits per destination shard.
+    out_flits: Vec<Vec<Flit>>,
+    /// Outbound credit returns (global slot ids) per destination shard.
+    out_credits: Vec<Vec<u32>>,
+    moved: u64,
+    injected: u64,
+    killed: usize,
+    // --- re-route scratch -------------------------------------------------
+    searcher: Searcher,
+    reroute_path: Vec<NodeId>,
+}
+
+impl ShardCore {
+    fn new(
+        node_lo: usize,
+        node_hi: usize,
+        slot_lo: usize,
+        slot_hi: usize,
+        n: usize,
+        shards: usize,
+        flow_depth: u32,
+    ) -> Self {
+        let slots = slot_hi - slot_lo;
+        let credit_len = if flow_depth > 0 { slots } else { 0 };
+        ShardCore {
+            node_lo,
+            node_hi,
+            slot_lo,
+            slot_hi,
+            flow_depth,
+            links: vec![
+                LinkGate {
+                    claim: NEVER,
+                    credits: flow_depth,
+                };
+                slots
+            ],
+            pending_credit: vec![0; credit_len],
+            pending_slots: Vec::new(),
+            blocked_head: vec![NONE_ID; slots],
+            blocked_tail: vec![NONE_ID; slots],
+            served_slots: Vec::with_capacity(slots.min(1 << 16)),
+            node_claim: vec![NEVER; node_hi - node_lo],
+            dead: vec![false; n],
+            dead_list: Vec::new(),
+            schedule: Vec::new(),
+            schedule_pos: 0,
+            entry: Vec::new(),
+            imp_pos: Vec::new(),
+            imp_rem: Vec::new(),
+            cursor: Vec::new(),
+            seg_end: Vec::new(),
+            occupied_slot: Vec::new(),
+            blocked_next: Vec::new(),
+            in_network: Vec::new(),
+            queued_now: Vec::new(),
+            queued_next: Vec::new(),
+            arena: Vec::new(),
+            pending_inject: Vec::new(),
+            inject_pos: 0,
+            resolved: Vec::new(),
+            out_flits: vec![Vec::new(); shards],
+            out_credits: vec![Vec::new(); shards],
+            moved: 0,
+            injected: 0,
+            killed: 0,
+            searcher: Searcher::default(),
+            reroute_path: Vec::new(),
+        }
+    }
+
+    /// Appends default (not-hosted) per-packet state for a new packet id.
+    fn push_packet_defaults(&mut self, id: usize) {
+        self.entry.push(pk(0, NO_SLOT));
+        self.imp_pos.push(0);
+        self.imp_rem.push(1);
+        self.cursor.push(NEVER);
+        self.seg_end.push(0);
+        self.occupied_slot.push(NO_SLOT);
+        self.blocked_next.push(NONE_ID);
+        self.in_network.push(false);
+        let words = (id >> 6) + 1;
+        if self.queued_now.len() < words {
+            self.queued_now.resize(words, 0);
+            self.queued_next.resize(words, 0);
+        }
+    }
+
+    fn is_alive(&self, ctx: &ShardCtx<'_>, node: NodeId) -> bool {
+        ctx.machine.is_healthy(node) && !self.dead[node]
+    }
+
+    #[inline]
+    fn queue_now(&mut self, id: usize) {
+        self.queued_now[id >> 6] |= 1u64 << (id & 63);
+    }
+
+    /// Parks `id` on local slot `ls`'s blocked queue, sorted by id (= age);
+    /// mirrors the single-table engine exactly.
+    fn park_on_slot(&mut self, id: usize, ls: usize) {
+        let id32 = id as u32;
+        let head = self.blocked_head[ls];
+        if head == NONE_ID {
+            self.blocked_head[ls] = id32;
+            self.blocked_tail[ls] = id32;
+            self.blocked_next[id] = NONE_ID;
+        } else if id32 > self.blocked_tail[ls] {
+            let tail = self.blocked_tail[ls] as usize;
+            self.blocked_next[tail] = id32;
+            self.blocked_tail[ls] = id32;
+            self.blocked_next[id] = NONE_ID;
+        } else if id32 < head {
+            self.blocked_next[id] = head;
+            self.blocked_head[ls] = id32;
+        } else {
+            let mut prev = head as usize;
+            while self.blocked_next[prev] != NONE_ID && self.blocked_next[prev] < id32 {
+                prev = self.blocked_next[prev] as usize;
+            }
+            self.blocked_next[id] = self.blocked_next[prev];
+            self.blocked_next[prev] = id32;
+        }
+    }
+
+    fn wake_head(&mut self, ls: usize) {
+        let head = self.blocked_head[ls];
+        if head != NONE_ID {
+            self.queue_now(head as usize);
+            self.blocked_head[ls] = self.blocked_next[head as usize];
+            if self.blocked_head[ls] == NONE_ID {
+                self.blocked_tail[ls] = NONE_ID;
+            }
+        }
+    }
+
+    fn wake_slot(&mut self, ls: usize) {
+        let mut cur = self.blocked_head[ls];
+        while cur != NONE_ID {
+            self.queue_now(cur as usize);
+            cur = self.blocked_next[cur as usize];
+        }
+        self.blocked_head[ls] = NONE_ID;
+        self.blocked_tail[ls] = NONE_ID;
+    }
+
+    fn wake_all_parked(&mut self) {
+        for ls in 0..self.blocked_head.len() {
+            if self.blocked_head[ls] != NONE_ID {
+                self.wake_slot(ls);
+            }
+        }
+    }
+
+    /// Schedules a credit return for *local* slot `ls` (usable next cycle).
+    fn return_credit_local(&mut self, ls: usize) {
+        if self.pending_credit[ls] == 0 {
+            self.pending_slots.push(ls as u32);
+        }
+        self.pending_credit[ls] += 1;
+    }
+
+    /// Returns a credit for *global* slot `s`: locally when this shard owns
+    /// the slot, else shipped to the owner at the cycle barrier. Slot
+    /// ownership follows the contiguous CSR cut, so the owner is the last
+    /// shard whose slot range starts at or before `s` (skipping any empty
+    /// shards in between).
+    fn return_credit_global(&mut self, ctx: &ShardCtx<'_>, s: u32) {
+        let su = s as usize;
+        if su >= self.slot_lo && su < self.slot_hi {
+            self.return_credit_local(su - self.slot_lo);
+        } else {
+            let owner = ctx.slot_start.partition_point(|&x| x as usize <= su) - 1;
+            self.out_credits[owner].push(s);
+        }
+    }
+
+    /// Resolves hosted packet `id` with resolution `code`, releasing its
+    /// buffer slot (possibly to another shard) under credit flow control.
+    fn resolve(&mut self, ctx: &ShardCtx<'_>, id: usize, cycle: u32, code: u8) {
+        self.resolved.push((id as u32, cycle, code));
+        self.in_network[id] = false;
+        self.cursor[id] = NEVER;
+        if self.flow_depth > 0 {
+            let slot = self.occupied_slot[id];
+            if slot != NO_SLOT {
+                self.return_credit_global(ctx, slot);
+                self.occupied_slot[id] = NO_SLOT;
+            }
+        }
+    }
+
+    /// Applies the credits returned last cycle (local and barrier-shipped)
+    /// and wakes each replenished slot's queue head. Per-slot independence
+    /// makes the application order irrelevant, so the interleaving of local
+    /// and remote returns cannot perturb the outcome.
+    fn apply_pending_credits(&mut self) {
+        for i in 0..self.pending_slots.len() {
+            let ls = self.pending_slots[i] as usize;
+            self.links[ls].credits += self.pending_credit[ls];
+            self.pending_credit[ls] = 0;
+            debug_assert!(self.links[ls].credits <= self.flow_depth, "credit overflow");
+            self.wake_head(ls);
+        }
+        self.pending_slots.clear();
+    }
+
+    /// Injects due home packets; mirrors the single engine's
+    /// `inject_due_packets` with resolutions routed through the driver.
+    fn inject_due(&mut self, ctx: &ShardCtx<'_>, cycle: u32) {
+        while self.inject_pos < self.pending_inject.len() {
+            let id = self.pending_inject[self.inject_pos] as usize;
+            if ctx.inject_at[id] > cycle {
+                break;
+            }
+            self.inject_pos += 1;
+            let source = pk_node(self.entry[id]);
+            if !self.is_alive(ctx, source) {
+                self.cursor[id] = NEVER;
+                self.resolved
+                    .push((id as u32, cycle, RES_DROPPED_AT_INJECT));
+            } else if pk_terminal(self.entry[id]) {
+                self.cursor[id] = NEVER;
+                self.resolved
+                    .push((id as u32, cycle, RES_DELIVERED_AT_INJECT));
+            } else {
+                self.queue_now(id);
+                self.in_network[id] = true;
+                self.injected += 1;
+            }
+        }
+    }
+
+    /// Applies due schedule entries (every core holds the full schedule, so
+    /// `killed` agrees across shards), drops packets hosted on dead nodes,
+    /// and wakes every parked packet — mirroring `fire_due_faults`.
+    fn fire_due_faults(&mut self, ctx: &ShardCtx<'_>, cycle: u32) {
+        while self.schedule_pos < self.schedule.len() && self.schedule[self.schedule_pos].0 <= cycle
+        {
+            let (_, node) = self.schedule[self.schedule_pos];
+            self.schedule_pos += 1;
+            if !self.dead[node as usize] {
+                self.dead[node as usize] = true;
+                self.dead_list.push(node);
+                self.killed += 1;
+            }
+        }
+        if self.killed > 0 {
+            for id in 0..self.in_network.len() {
+                if self.in_network[id] && self.dead[pk_node(self.entry[id])] {
+                    self.resolve(ctx, id, cycle, RES_DROPPED);
+                }
+            }
+            self.wake_all_parked();
+        }
+    }
+
+    /// The physical node hosted packet `id`'s route ends on.
+    fn route_target(&self, ctx: &ShardCtx<'_>, id: usize) -> NodeId {
+        if self.cursor[id] == IMPLICIT_ACTIVE {
+            implicit_route::apply_place(ctx.imp_place, ctx.logical_target[id]) as usize
+        } else {
+            pk_node(self.arena[self.seg_end[id] as usize - 1])
+        }
+    }
+
+    /// Fills packed hop slots of `arena[from..to]`, like the single
+    /// engine's `pack_hop_slots` over its path arena.
+    fn pack_hop_slots(&mut self, ctx: &ShardCtx<'_>, from: usize, to: usize) {
+        for i in from..to.saturating_sub(1) {
+            let u = pk_node(self.arena[i]);
+            let v = pk_node(self.arena[i + 1]) as u32;
+            let slot = edge_slot_in(ctx.machine, u, v)
+                // analyzer: allow(expect) -- the BFS route was computed against this CSR, so a missing slot is a search bug; aborting beats simulating a phantom link
+                .expect("re-routes only traverse physical links");
+            let delivers = if i + 2 == to { DELIVERS } else { 0 };
+            self.arena[i] = pk(u as u32, slot as u32) | delivers;
+        }
+        if to > from {
+            let last = pk_node(self.arena[to - 1]) as u32;
+            self.arena[to - 1] = pk(last, NO_SLOT);
+        }
+    }
+
+    /// Replaces hosted packet `id`'s remaining route with a BFS path from
+    /// its current node to `target`, spilled into the local arena. Returns
+    /// false (packet untouched) when no healthy path exists.
+    fn reroute_packet(&mut self, ctx: &ShardCtx<'_>, id: usize, target: NodeId) -> bool {
+        let here = pk_node(self.entry[id]);
+        let machine = ctx.machine;
+        let dead = &self.dead;
+        let found = self.searcher.shortest_path_filtered_into(
+            machine.graph(),
+            here,
+            target,
+            |v| machine.is_healthy(v) && !dead[v],
+            &mut self.reroute_path,
+        );
+        if !found {
+            return false;
+        }
+        let start = self.arena.len() as u32;
+        self.arena
+            .extend(self.reroute_path.iter().map(|&v| v as u64));
+        let end = self.arena.len();
+        self.pack_hop_slots(ctx, start as usize, end);
+        self.cursor[id] = start;
+        self.seg_end[id] = end as u32;
+        self.entry[id] = self.arena[start as usize];
+        true
+    }
+
+    /// Advances hosted packet `id` past the hop it just won — an O(1)
+    /// shift-register step for implicit packets, an arena-cursor bump for
+    /// materialized ones. Never called on a delivering hop.
+    fn advance_route(&mut self, ctx: &ShardCtx<'_>, id: usize, crossed_slot: usize) {
+        let next_node = ctx.machine.graph().csr().1[crossed_slot];
+        let at = self.cursor[id];
+        if at == IMPLICIT_ACTIVE {
+            let (pos, rem) = (self.imp_pos[id], self.imp_rem[id]);
+            let (p2, pos2, rem2) =
+                implicit_route::next_hop(ctx.imp_place, ctx.imp_mask, next_node, pos, rem)
+                    // analyzer: allow(expect) -- the crossed entry lacked DELIVERS, so the register provably holds another hop
+                    .expect("a non-delivering hop always has a successor");
+            let slot = edge_slot_in(ctx.machine, next_node as usize, p2)
+                // analyzer: allow(expect) -- the loader validated every shift edge of this route against this CSR
+                .expect("implicit routes only traverse physical links");
+            let delivers =
+                implicit_route::route_ends_at(ctx.imp_place, ctx.imp_mask, p2, pos2, rem2);
+            self.entry[id] = pk(next_node, slot as u32) | if delivers { DELIVERS } else { 0 };
+            self.imp_pos[id] = pos2;
+            self.imp_rem[id] = rem2;
+        } else {
+            let next = at + 1;
+            self.cursor[id] = next;
+            self.entry[id] = self.arena[next as usize];
+        }
+    }
+
+    /// Ships hosted packet `id` — whose current node `now` belongs to
+    /// another shard — to its new host at the cycle barrier. Its route
+    /// state travels in the flit; its occupied buffer slot stays recorded
+    /// (globally) and drains back to this shard when the packet next moves.
+    fn emigrate(&mut self, ctx: &ShardCtx<'_>, id: usize, now: usize) {
+        let dest = shard_of(now, ctx.n, ctx.shards);
+        let path = if self.cursor[id] == IMPLICIT_ACTIVE {
+            Vec::new()
+        } else {
+            self.arena[self.cursor[id] as usize..self.seg_end[id] as usize].to_vec()
+        };
+        self.out_flits[dest].push(Flit {
+            id: id as u32,
+            entry: self.entry[id],
+            pos: self.imp_pos[id],
+            rem: self.imp_rem[id],
+            occupied_slot: self.occupied_slot[id],
+            path,
+        });
+        self.in_network[id] = false;
+        self.cursor[id] = NEVER;
+        self.occupied_slot[id] = NO_SLOT;
+    }
+
+    /// Adopts barrier-shipped state: credit returns into the pending set
+    /// (usable next cycle, exactly like local returns) and in-migrating
+    /// flits into the hosted table, queued for next cycle's examination —
+    /// the same timing a mover has in the single-table engine.
+    fn apply_inbound(&mut self, flits: &[Flit], credits: &[u32]) {
+        for &s in credits {
+            let su = s as usize;
+            debug_assert!(su >= self.slot_lo && su < self.slot_hi, "foreign credit");
+            self.return_credit_local(su - self.slot_lo);
+        }
+        for flit in flits {
+            let id = flit.id as usize;
+            self.entry[id] = flit.entry;
+            self.imp_pos[id] = flit.pos;
+            self.imp_rem[id] = flit.rem;
+            self.occupied_slot[id] = flit.occupied_slot;
+            if flit.path.is_empty() {
+                self.cursor[id] = IMPLICIT_ACTIVE;
+            } else {
+                let start = self.arena.len() as u32;
+                self.arena.extend_from_slice(&flit.path);
+                self.cursor[id] = start;
+                self.seg_end[id] = start + flit.path.len() as u32;
+            }
+            self.in_network[id] = true;
+            self.queue_now(id);
+        }
+    }
+
+    /// Collects this cycle's outbound batches (one per destination shard
+    /// with traffic), leaving the buffers empty for the next cycle.
+    fn take_batches(&mut self, src: u32) -> Vec<BoundaryBatch> {
+        let mut batches = Vec::new();
+        for dst in 0..self.out_flits.len() {
+            if self.out_flits[dst].is_empty() && self.out_credits[dst].is_empty() {
+                continue;
+            }
+            batches.push(BoundaryBatch {
+                src,
+                dst: dst as u32,
+                flits: std::mem::take(&mut self.out_flits[dst]),
+                credits: std::mem::take(&mut self.out_credits[dst]),
+            });
+        }
+        batches
+    }
+
+    /// One shard's share of a cycle, phase-for-phase identical to the
+    /// single-table engine's `step`: apply pending credits, wake served
+    /// slots, inject due packets, fire due faults, then examine queued
+    /// packets in ascending id order.
+    fn phase(&mut self, ctx: &ShardCtx<'_>, cycle: u32) {
+        self.moved = 0;
+        self.injected = 0;
+        self.killed = 0;
+        self.apply_pending_credits();
+        for i in 0..self.served_slots.len() {
+            let ls = self.served_slots[i] as usize;
+            if self.blocked_head[ls] != NONE_ID
+                && (self.flow_depth == 0 || self.links[ls].credits > 0)
+            {
+                self.wake_head(ls);
+            }
+        }
+        self.served_slots.clear();
+        self.inject_due(ctx, cycle);
+        self.fire_due_faults(ctx, cycle);
+        self.exam(ctx, cycle);
+    }
+
+    /// The examination pass (the single engine's `step` body) over this
+    /// shard's queued packets.
+    fn exam(&mut self, ctx: &ShardCtx<'_>, stamp: u32) {
+        let credit_based = self.flow_depth > 0;
+        let hazard = !self.dead_list.is_empty();
+        for wi in 0..self.queued_now.len() {
+            let mut word = self.queued_now[wi];
+            if word == 0 {
+                continue;
+            }
+            self.queued_now[wi] = 0;
+            let base = wi << 6;
+            while word != 0 {
+                let id = base + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.cursor[id] == NEVER {
+                    continue;
+                }
+                let entry = self.entry[id];
+                let slot = pk_slot(entry) as usize;
+                debug_assert!(slot >= self.slot_lo && slot < self.slot_hi, "foreign slot");
+                if hazard {
+                    let next = ctx.machine.graph().csr().1[slot] as usize;
+                    if self.dead[next] {
+                        match ctx.fault_response {
+                            FaultResponse::Drop => {
+                                self.resolve(ctx, id, stamp, RES_DROPPED);
+                                continue;
+                            }
+                            FaultResponse::RerouteAdaptive => {
+                                let target = self.route_target(ctx, id);
+                                if !self.is_alive(ctx, target)
+                                    || !self.reroute_packet(ctx, id, target)
+                                {
+                                    self.resolve(ctx, id, stamp, RES_DROPPED);
+                                    continue;
+                                }
+                                if self.cursor[id] + 1 == self.seg_end[id] {
+                                    self.resolve(ctx, id, stamp, RES_DELIVERED);
+                                    continue;
+                                }
+                                self.queued_next[wi] |= 1u64 << (id & 63);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let here = pk_node(entry);
+                let ls = slot - self.slot_lo;
+                let port_free = !ctx.single_port || self.node_claim[here - self.node_lo] != stamp;
+                let gate = self.links[ls];
+                let credit_free = !credit_based || gate.credits > 0;
+                if port_free && credit_free && gate.claim != stamp {
+                    self.links[ls].claim = stamp;
+                    if ctx.single_port {
+                        self.node_claim[here - self.node_lo] = stamp;
+                    }
+                    if credit_based {
+                        self.links[ls].credits -= 1;
+                        let prev = self.occupied_slot[id];
+                        if prev != NO_SLOT {
+                            self.return_credit_global(ctx, prev);
+                        }
+                        self.occupied_slot[id] = slot as u32;
+                    }
+                    if ctx.park {
+                        self.served_slots.push(ls as u32);
+                    }
+                    self.moved += 1;
+                    if entry & DELIVERS != 0 {
+                        self.resolve(ctx, id, stamp, RES_DELIVERED);
+                    } else {
+                        self.advance_route(ctx, id, slot);
+                        let now = pk_node(self.entry[id]);
+                        if now >= self.node_lo && now < self.node_hi {
+                            self.queued_next[wi] |= 1u64 << (id & 63);
+                        } else {
+                            self.emigrate(ctx, id, now);
+                        }
+                    }
+                } else if ctx.park
+                    && (!credit_free || (gate.claim == stamp && self.blocked_head[ls] != NONE_ID))
+                {
+                    self.park_on_slot(id, ls);
+                } else {
+                    self.queued_next[wi] |= 1u64 << (id & 63);
+                }
+            }
+        }
+        std::mem::swap(&mut self.queued_now, &mut self.queued_next);
+    }
+
+    fn injects_done(&self) -> bool {
+        self.inject_pos >= self.pending_inject.len()
+    }
+}
+
+/// A command from the driver to a persistent worker thread.
+enum WorkerCmd {
+    /// Apply last cycle's inbound traffic, run one cycle phase, report.
+    Cycle {
+        cycle: u32,
+        flits: Vec<Flit>,
+        credits: Vec<u32>,
+    },
+    /// Apply inbound traffic without running a cycle (the exit flush, so
+    /// the cores hold a consistent post-barrier state when the run stops).
+    Apply { flits: Vec<Flit>, credits: Vec<u32> },
+    /// Join.
+    Stop,
+}
+
+/// One worker's cycle result. `None` on the result channel means the worker
+/// panicked (the payload re-raises through the scope join).
+struct WorkerOut {
+    shard: u32,
+    moved: u64,
+    injected: u64,
+    killed: usize,
+    resolved: Vec<(u32, u32, u8)>,
+    batches: Vec<BoundaryBatch>,
+    pending_empty: bool,
+    injects_done: bool,
+    schedule_done: bool,
+}
+
+/// The sharded wake-list congestion engine. See the module docs for the
+/// partition and the equivalence argument; see [`super::CongestionSim`] for
+/// the cycle model. `shards = 1, threads = 1` degenerates to the single
+/// engine (modulo layout); reports are byte-identical in every
+/// configuration.
+pub struct ShardedSim {
+    machine: PhysicalMachine,
+    config: CongestionConfig,
+    shards: usize,
+    threads: usize,
+    /// First global CSR slot per shard (length `shards + 1`).
+    slot_start: Vec<u32>,
+    cores: Vec<ShardCore>,
+    // --- global packet table (driver-owned) -------------------------------
+    inject_at: Vec<u32>,
+    logical_target: Vec<u32>,
+    delivered_at: Vec<u32>,
+    dropped_at: Vec<u32>,
+    latencies: Vec<u32>,
+    // --- implicit context -------------------------------------------------
+    imp_mask: u32,
+    imp_place: Vec<u32>,
+    imp_ctx: bool,
+    // --- run state --------------------------------------------------------
+    delivered: u64,
+    dropped: u64,
+    live: u64,
+    total_flits: u64,
+    cycle: u32,
+    deadlocked: bool,
+    open_loop_sources: u32,
+    /// Latest injection cycle queued by a timed load, for the cross-load
+    /// append assert (mirrors the single engine's check).
+    last_queued_inject: Option<u32>,
+}
+
+impl ShardedSim {
+    /// Creates a sharded engine over `machine` with `shards` contiguous
+    /// node partitions, run by one worker thread per shard when
+    /// `threads > 1` (and serially, still shard-by-shard, otherwise).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or when `config` asks for materialized
+    /// routes — the sharded engine carries O(1) implicit route state only;
+    /// use [`super::CongestionSim`] for materialized loads.
+    pub fn new(
+        machine: PhysicalMachine,
+        config: CongestionConfig,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(
+            config.route_source == RouteSource::Implicit,
+            "the sharded engine carries O(1) implicit route state only; \
+             use CongestionSim for materialized loads"
+        );
+        let flow_depth = match config.flow_control {
+            FlowControl::Infinite => 0,
+            FlowControl::CreditBased { buffer_depth } => {
+                assert!(
+                    buffer_depth >= 1,
+                    "credit flow control needs at least one slot"
+                );
+                buffer_depth
+            }
+        };
+        let n = machine.node_count();
+        let (offsets, _) = machine.graph().csr();
+        let mut slot_start = Vec::with_capacity(shards + 1);
+        for s in 0..=shards {
+            slot_start.push(offsets[shard_floor(s, n, shards)]);
+        }
+        let cores = (0..shards)
+            .map(|s| {
+                ShardCore::new(
+                    shard_floor(s, n, shards),
+                    shard_floor(s + 1, n, shards),
+                    slot_start[s] as usize,
+                    slot_start[s + 1] as usize,
+                    n,
+                    shards,
+                    flow_depth,
+                )
+            })
+            .collect();
+        ShardedSim {
+            config,
+            shards,
+            threads: threads.max(1),
+            slot_start,
+            cores,
+            inject_at: Vec::new(),
+            logical_target: Vec::new(),
+            delivered_at: Vec::new(),
+            dropped_at: Vec::new(),
+            latencies: Vec::new(),
+            imp_mask: 0,
+            imp_place: Vec::new(),
+            imp_ctx: false,
+            delivered: 0,
+            dropped: 0,
+            live: 0,
+            total_flits: 0,
+            cycle: 0,
+            deadlocked: false,
+            open_loop_sources: 0,
+            last_queued_inject: None,
+            machine,
+        }
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &PhysicalMachine {
+        &self.machine
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Worker threads a threaded run uses (one per shard when `> 1`).
+    pub fn threads(&self) -> usize {
+        if self.threads > 1 && self.shards > 1 {
+            self.shards
+        } else {
+            1
+        }
+    }
+
+    /// `(injected, delivered, dropped, in_flight)` so far.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inject_at.len() as u64,
+            self.delivered,
+            self.dropped,
+            self.live,
+        )
+    }
+
+    /// Captures (or checks) the implicit-routing context. Unlike the single
+    /// engine there is no materialized fallback, so a second load through a
+    /// different placement or radix is a hard error.
+    fn capture_implicit_ctx(&mut self, db: &DeBruijn2, placement: &Embedding) {
+        let mask = (db.node_count() - 1) as u32;
+        let identity = placement
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i == v);
+        if self.imp_ctx {
+            let same_place = if identity {
+                self.imp_place.is_empty()
+            } else {
+                self.imp_place.len() == placement.len()
+                    && placement
+                        .as_slice()
+                        .iter()
+                        .zip(self.imp_place.iter())
+                        .all(|(&a, &b)| a as u32 == b)
+            };
+            assert!(
+                self.imp_mask == mask && same_place,
+                "the sharded engine cannot mix implicit contexts; route every \
+                 load through one placement (CongestionSim materializes instead)"
+            );
+            return;
+        }
+        self.imp_ctx = true;
+        self.imp_mask = mask;
+        self.imp_place.clear();
+        if !identity {
+            self.imp_place
+                .extend(placement.as_slice().iter().map(|&v| v as u32));
+        }
+    }
+
+    /// Appends one implicit packet, mirroring the single engine's
+    /// `push_packet_implicit` + `push_outcome` semantics with the hosted
+    /// state placed in the home shard only.
+    fn push_implicit(&mut self, s: u32, t: u32, inject_cycle: u32) {
+        let id = self.inject_at.len();
+        let (entry, pos, rem) =
+            implicit_entry_in(&self.machine, &self.imp_place, self.imp_mask, s, t);
+        let zero_hop = pk_terminal(entry);
+        for core in &mut self.cores {
+            core.push_packet_defaults(id);
+        }
+        self.inject_at.push(inject_cycle);
+        self.logical_target.push(t);
+        let home = shard_of(pk_node(entry), self.machine.node_count(), self.shards);
+        let core = &mut self.cores[home];
+        core.entry[id] = entry;
+        core.imp_pos[id] = pos;
+        core.imp_rem[id] = rem;
+        if zero_hop && inject_cycle == 0 {
+            self.delivered_at.push(0);
+            self.dropped_at.push(NEVER);
+            self.delivered += 1;
+            self.latencies.push(0);
+        } else {
+            self.delivered_at.push(NEVER);
+            self.dropped_at.push(NEVER);
+            core.cursor[id] = IMPLICIT_ACTIVE;
+            if inject_cycle == 0 {
+                core.queue_now(id);
+                core.in_network[id] = true;
+                self.live += 1;
+            } else {
+                core.pending_inject.push(id as u32);
+                self.last_queued_inject = Some(inject_cycle);
+            }
+        }
+    }
+
+    /// Records a packet that could not be routed at load time: injected and
+    /// immediately dropped, like the single engine's `push_dead_packet`.
+    fn push_dead(&mut self, inject_cycle: u32) {
+        let id = self.inject_at.len();
+        for core in &mut self.cores {
+            core.push_packet_defaults(id);
+        }
+        self.inject_at.push(inject_cycle);
+        self.logical_target.push(NO_LOGICAL);
+        self.delivered_at.push(NEVER);
+        self.dropped_at.push(inject_cycle);
+        self.dropped += 1;
+    }
+
+    /// Loads a workload of logical pairs routed with the oblivious de
+    /// Bruijn scheme through `placement`; see
+    /// [`super::CongestionSim::load_oblivious`]. Every packet is implicit.
+    pub fn load_oblivious(
+        &mut self,
+        db: &DeBruijn2,
+        placement: &Embedding,
+        pairs: &[(NodeId, NodeId)],
+    ) {
+        self.capture_implicit_ctx(db, placement);
+        let mut path = Vec::with_capacity(db.h() + 1);
+        for &(s, t) in pairs {
+            match crate::routing::route_logical_debruijn_into(
+                db,
+                placement,
+                &self.machine,
+                s,
+                t,
+                &mut path,
+            ) {
+                Ok(_) => self.push_implicit(s as u32, t as u32, 0),
+                Err(_) => self.push_dead(0),
+            }
+        }
+    }
+
+    /// Loads an open-loop schedule of `(inject_cycle, source, target)`
+    /// logical triples; see
+    /// [`super::CongestionSim::load_oblivious_timed`].
+    pub fn load_oblivious_timed(
+        &mut self,
+        db: &DeBruijn2,
+        placement: &Embedding,
+        injections: &[(u32, NodeId, NodeId)],
+    ) {
+        assert!(
+            injections
+                .iter()
+                .zip(injections.iter().skip(1))
+                .all(|(a, b)| a.0 <= b.0),
+            "injection schedule must be sorted by cycle"
+        );
+        if let (Some(last), Some(&(first, _, _))) = (self.last_queued_inject, injections.first()) {
+            assert!(
+                first >= last,
+                "appended injection schedule starts at cycle {first}, before the \
+                 already-queued cycle {last}"
+            );
+        }
+        self.capture_implicit_ctx(db, placement);
+        let mut path = Vec::with_capacity(db.h() + 1);
+        self.open_loop_sources = db.node_count() as u32;
+        for &(cycle, s, t) in injections {
+            match crate::routing::route_logical_debruijn_into(
+                db,
+                placement,
+                &self.machine,
+                s,
+                t,
+                &mut path,
+            ) {
+                Ok(_) => self.push_implicit(s as u32, t as u32, cycle),
+                Err(_) => self.push_dead(cycle),
+            }
+        }
+    }
+
+    /// Schedules processor `node` to die at the start of `cycle`. Every
+    /// core carries the full schedule (hazard checks need remote deads).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn schedule_fault(&mut self, cycle: u32, node: NodeId) {
+        assert!(node < self.machine.node_count(), "fault node out of range");
+        for core in &mut self.cores {
+            core.schedule.push((cycle, node as u32));
+            core.schedule.sort_unstable();
+        }
+    }
+
+    /// Applies one drained resolution to the global packet table. Takes the
+    /// table's fields individually (not `&mut self`) so the run loops can
+    /// call it while `self.cores` is mutably borrowed.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_resolution(
+        inject_at: &[u32],
+        delivered_at: &mut [u32],
+        dropped_at: &mut [u32],
+        latencies: &mut Vec<u32>,
+        delivered: &mut u64,
+        dropped: &mut u64,
+        live: &mut u64,
+        (id, cyc, code): (u32, u32, u8),
+    ) {
+        let id = id as usize;
+        if code & 1 == 1 {
+            delivered_at[id] = cyc;
+            *delivered += 1;
+            latencies.push(cyc - inject_at[id]);
+        } else {
+            dropped_at[id] = cyc;
+            *dropped += 1;
+        }
+        if code < RES_DROPPED_AT_INJECT {
+            *live -= 1;
+        }
+    }
+
+    /// Steps until cycle `horizon` (capped by `max_cycles`), the workload
+    /// drains, or a hard deadlock is proven — the sharded counterpart of
+    /// [`super::CongestionSim::run_until`].
+    pub fn run_until(&mut self, horizon: u32) {
+        let horizon = horizon.min(self.config.max_cycles);
+        if self.threads > 1 && self.shards > 1 {
+            self.run_threaded(horizon);
+        } else {
+            self.run_serial(horizon);
+        }
+    }
+
+    fn run_serial(&mut self, horizon: u32) {
+        while (self.live > 0 || self.cores.iter().any(|c| !c.injects_done()))
+            && self.cycle < horizon
+        {
+            let ctx = ShardCtx {
+                machine: &self.machine,
+                slot_start: &self.slot_start,
+                inject_at: &self.inject_at,
+                logical_target: &self.logical_target,
+                imp_place: &self.imp_place,
+                imp_mask: self.imp_mask,
+                n: self.machine.node_count(),
+                shards: self.shards,
+                single_port: self.machine.port_model() == PortModel::SinglePort,
+                park: self.config.engine == EngineKind::WakeList,
+                fault_response: self.config.fault_response,
+            };
+            let cycle = self.cycle;
+            let mut moved = 0u64;
+            let mut injected = 0u64;
+            for core in &mut self.cores {
+                core.phase(&ctx, cycle);
+                moved += core.moved;
+                injected += core.injected;
+            }
+            let killed = self.cores.first().map_or(0, |c| c.killed);
+            // Injections enter the network before any resolution of the
+            // same cycle (the engine's in_flight += 1 at injection).
+            self.live += injected;
+            let mut batches: Vec<BoundaryBatch> = Vec::new();
+            for (s, core) in self.cores.iter_mut().enumerate() {
+                batches.append(&mut core.take_batches(s as u32));
+            }
+            batches.sort_by_key(|b| (b.dst, b.src));
+            for b in &batches {
+                self.cores[b.dst as usize].apply_inbound(&b.flits, &b.credits);
+            }
+            {
+                let ShardedSim {
+                    cores,
+                    inject_at,
+                    delivered_at,
+                    dropped_at,
+                    latencies,
+                    delivered,
+                    dropped,
+                    live,
+                    ..
+                } = self;
+                for core in cores {
+                    for res in core.resolved.drain(..) {
+                        Self::apply_resolution(
+                            inject_at,
+                            delivered_at,
+                            dropped_at,
+                            latencies,
+                            delivered,
+                            dropped,
+                            live,
+                            res,
+                        );
+                    }
+                }
+            }
+            self.total_flits += moved;
+            self.cycle += 1;
+            if moved == 0
+                && injected == 0
+                && killed == 0
+                && self.live > 0
+                && self.cores.iter().all(|c| c.pending_slots.is_empty())
+                && self.cores.iter().all(|c| c.injects_done())
+                && self
+                    .cores
+                    .iter()
+                    .all(|c| c.schedule_pos >= c.schedule.len())
+            {
+                self.deadlocked = true;
+                break;
+            }
+        }
+    }
+
+    fn run_threaded(&mut self, horizon: u32) {
+        let shards = self.shards;
+        let mut any_pending = self.cores.iter().any(|c| !c.injects_done());
+        let ShardedSim {
+            machine,
+            config,
+            slot_start,
+            cores,
+            inject_at,
+            logical_target,
+            delivered_at,
+            dropped_at,
+            latencies,
+            imp_mask,
+            imp_place,
+            delivered,
+            dropped,
+            live,
+            total_flits,
+            cycle,
+            deadlocked,
+            ..
+        } = self;
+        let ctx = ShardCtx {
+            machine,
+            slot_start,
+            inject_at,
+            logical_target,
+            imp_place,
+            imp_mask: *imp_mask,
+            n: machine.node_count(),
+            shards,
+            single_port: machine.port_model() == PortModel::SinglePort,
+            park: config.engine == EngineKind::WakeList,
+            fault_response: config.fault_response,
+        };
+        let scope_result = crossbeam::scope(|s| {
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<Option<WorkerOut>>();
+            let mut cmd_txs = Vec::with_capacity(shards);
+            for (shard, core) in cores.iter_mut().enumerate() {
+                let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<WorkerCmd>();
+                cmd_txs.push(cmd_tx);
+                let res_tx = res_tx.clone();
+                let ctx = &ctx;
+                s.spawn(move |_| worker_loop(shard as u32, core, ctx, &cmd_rx, &res_tx));
+            }
+            drop(res_tx);
+            let mut inbound_flits: Vec<Vec<Flit>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut inbound_credits: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
+            'run: while (*live > 0 || any_pending) && *cycle < horizon {
+                for (shard, tx) in cmd_txs.iter().enumerate() {
+                    let cmd = WorkerCmd::Cycle {
+                        cycle: *cycle,
+                        flits: std::mem::take(&mut inbound_flits[shard]),
+                        credits: std::mem::take(&mut inbound_credits[shard]),
+                    };
+                    if tx.send(cmd).is_err() {
+                        break 'run;
+                    }
+                }
+                let mut outs: Vec<WorkerOut> = Vec::with_capacity(shards);
+                for _ in 0..shards {
+                    match res_rx.recv() {
+                        Ok(Some(o)) => outs.push(o),
+                        Ok(None) | Err(_) => break 'run,
+                    }
+                }
+                outs.sort_by_key(|o| o.shard);
+                let moved: u64 = outs.iter().map(|o| o.moved).sum();
+                let injected: u64 = outs.iter().map(|o| o.injected).sum();
+                let killed = outs.first().map_or(0, |o| o.killed);
+                any_pending = outs.iter().any(|o| !o.injects_done);
+                let all_pending_empty = outs.iter().all(|o| o.pending_empty);
+                let all_schedule_done = outs.iter().all(|o| o.schedule_done);
+                *live += injected;
+                for o in &mut outs {
+                    for res in o.resolved.drain(..) {
+                        Self::apply_resolution(
+                            inject_at,
+                            delivered_at,
+                            dropped_at,
+                            latencies,
+                            delivered,
+                            dropped,
+                            live,
+                            res,
+                        );
+                    }
+                }
+                let mut batches: Vec<BoundaryBatch> =
+                    outs.iter_mut().flat_map(|o| o.batches.drain(..)).collect();
+                batches.sort_by_key(|b| (b.dst, b.src));
+                let mut credits_shipped = false;
+                for b in batches {
+                    if !b.credits.is_empty() {
+                        credits_shipped = true;
+                    }
+                    inbound_flits[b.dst as usize].extend(b.flits);
+                    inbound_credits[b.dst as usize].extend(b.credits);
+                }
+                *total_flits += moved;
+                *cycle += 1;
+                // The workers report their pending-credit state *before*
+                // the barrier; pre-barrier-empty plus nothing shipped is
+                // exactly the single engine's post-return emptiness check
+                // (and shipped flits imply `moved > 0` anyway).
+                if moved == 0
+                    && injected == 0
+                    && killed == 0
+                    && *live > 0
+                    && all_pending_empty
+                    && !credits_shipped
+                    && !any_pending
+                    && all_schedule_done
+                {
+                    *deadlocked = true;
+                    break 'run;
+                }
+            }
+            // Flush the last barrier's traffic so the cores are left in a
+            // consistent post-barrier state, then join the workers.
+            for (shard, tx) in cmd_txs.iter().enumerate() {
+                let flits = std::mem::take(&mut inbound_flits[shard]);
+                let credits = std::mem::take(&mut inbound_credits[shard]);
+                if !flits.is_empty() || !credits.is_empty() {
+                    let _ = tx.send(WorkerCmd::Apply { flits, credits });
+                }
+                let _ = tx.send(WorkerCmd::Stop);
+            }
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Steps until the workload drains, `max_cycles` is hit, or the network
+    /// hard-deadlocks.
+    pub fn run_to_quiescence(&mut self) {
+        self.run_until(self.config.max_cycles);
+    }
+
+    /// Runs to quiescence and returns the final report.
+    pub fn run(&mut self) -> CongestionReport {
+        self.run_to_quiescence();
+        self.report()
+    }
+
+    /// The report for the run so far — byte-identical to the single-table
+    /// engine's for the same workload, any shard/thread count.
+    pub fn report(&mut self) -> CongestionReport {
+        // Resolution order varies with the shard cut; the multiset of
+        // latencies does not. A full sort (idempotent) restores the
+        // canonical form the summary is computed from.
+        self.latencies.sort_unstable();
+        CongestionReport {
+            cycles: self.cycle,
+            injected: self.inject_at.len() as u64,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            total_flits: self.total_flits,
+            completed: self.live == 0 && self.cores.iter().all(|c| c.injects_done()),
+            deadlocked: self.deadlocked,
+            latency: LatencySummary::from_sorted(&self.latencies),
+        }
+    }
+
+    /// Per-packet outcome; see [`super::CongestionSim::packet_outcome`].
+    pub fn packet_outcome(&self, id: usize) -> (u32, Option<u32>, Option<u32>) {
+        let lift = |c: u32| if c == NEVER { None } else { Some(c) };
+        (
+            self.inject_at[id],
+            lift(self.delivered_at[id]),
+            lift(self.dropped_at[id]),
+        )
+    }
+
+    /// Bytes of heap capacity devoted to per-packet route state across all
+    /// cores — the sharded counterpart of
+    /// [`super::CongestionSim::route_state_bytes`]. O(packets) for the
+    /// implicit workloads this engine carries (re-route spills add the
+    /// materialized exception).
+    pub fn route_state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_core: usize = self
+            .cores
+            .iter()
+            .map(|c| {
+                (c.arena.capacity() + c.entry.capacity()) * size_of::<u64>()
+                    + (c.imp_pos.capacity()
+                        + c.imp_rem.capacity()
+                        + c.cursor.capacity()
+                        + c.seg_end.capacity())
+                        * size_of::<u32>()
+            })
+            .sum();
+        per_core + (self.logical_target.capacity() + self.imp_place.capacity()) * size_of::<u32>()
+    }
+}
+
+/// The persistent per-shard worker: applies the previous barrier's inbound
+/// traffic, runs the cycle phase, and reports. A panic anywhere in the
+/// cycle work sends `None` first so the driver never blocks on a dead
+/// worker, then re-raises (the scope join carries it to the caller).
+fn worker_loop(
+    shard: u32,
+    core: &mut ShardCore,
+    ctx: &ShardCtx<'_>,
+    cmd_rx: &crossbeam::channel::Receiver<WorkerCmd>,
+    res_tx: &crossbeam::channel::Sender<Option<WorkerOut>>,
+) {
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            WorkerCmd::Cycle {
+                cycle,
+                flits,
+                credits,
+            } => {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    core.apply_inbound(&flits, &credits);
+                    core.phase(ctx, cycle);
+                    WorkerOut {
+                        shard,
+                        moved: core.moved,
+                        injected: core.injected,
+                        killed: core.killed,
+                        resolved: std::mem::take(&mut core.resolved),
+                        batches: core.take_batches(shard),
+                        pending_empty: core.pending_slots.is_empty(),
+                        injects_done: core.injects_done(),
+                        schedule_done: core.schedule_pos >= core.schedule.len(),
+                    }
+                }));
+                match out {
+                    Ok(o) => {
+                        if res_tx.send(Some(o)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(payload) => {
+                        let _ = res_tx.send(None);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            WorkerCmd::Apply { flits, credits } => core.apply_inbound(&flits, &credits),
+            WorkerCmd::Stop => return,
+        }
+    }
+}
+
+impl CongestionEngine for ShardedSim {
+    fn run_until(&mut self, horizon: u32) {
+        ShardedSim::run_until(self, horizon);
+    }
+    fn counts(&self) -> (u64, u64, u64, u64) {
+        ShardedSim::counts(self)
+    }
+    fn packet_outcome(&self, id: usize) -> (u32, Option<u32>, Option<u32>) {
+        ShardedSim::packet_outcome(self, id)
+    }
+    fn cycle(&self) -> u32 {
+        ShardedSim::cycle(self)
+    }
+    fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+    fn open_loop_sources(&self) -> u32 {
+        self.open_loop_sources
+    }
+    fn node_count(&self) -> usize {
+        self.machine.node_count()
+    }
+    fn report(&mut self) -> CongestionReport {
+        ShardedSim::report(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::measure_open_loop;
+    use super::*;
+    use crate::workload;
+    use rand::SeedableRng;
+
+    fn machine_for(h: usize, port: PortModel) -> (DeBruijn2, PhysicalMachine) {
+        let db = DeBruijn2::new(h);
+        let machine = PhysicalMachine::new(db.graph().clone(), port);
+        (db, machine)
+    }
+
+    fn single_report(
+        db: &DeBruijn2,
+        port: PortModel,
+        config: CongestionConfig,
+        pairs: &[(NodeId, NodeId)],
+    ) -> CongestionReport {
+        let machine = PhysicalMachine::new(db.graph().clone(), port);
+        let mut sim = super::super::CongestionSim::new(machine, config);
+        sim.load_oblivious(db, &Embedding::identity(db.node_count()), pairs);
+        sim.run()
+    }
+
+    fn sharded_report(
+        db: &DeBruijn2,
+        port: PortModel,
+        config: CongestionConfig,
+        pairs: &[(NodeId, NodeId)],
+        shards: usize,
+        threads: usize,
+    ) -> CongestionReport {
+        let machine = PhysicalMachine::new(db.graph().clone(), port);
+        let mut sim = ShardedSim::new(machine, config, shards, threads);
+        sim.load_oblivious(db, &Embedding::identity(db.node_count()), pairs);
+        sim.run()
+    }
+
+    #[test]
+    fn matches_single_engine_on_healthy_permutation() {
+        let (db, _) = machine_for(5, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        for port in [PortModel::MultiPort, PortModel::SinglePort] {
+            let config = CongestionConfig::default();
+            let want = single_report(&db, port, config, &pairs);
+            assert_eq!(want.delivered, n as u64);
+            for shards in 1..=4 {
+                let got = sharded_report(&db, port, config, &pairs, shards, 1);
+                assert_eq!(got, want, "shards={shards} port={port:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_under_credit_flow_hotspot() {
+        let (db, _) = machine_for(4, PortModel::SinglePort);
+        let n = db.node_count();
+        let pairs = workload::all_to_one(n, 3);
+        for depth in [1u32, 2] {
+            let config = CongestionConfig {
+                flow_control: FlowControl::CreditBased {
+                    buffer_depth: depth,
+                },
+                ..CongestionConfig::default()
+            };
+            let want = single_report(&db, PortModel::SinglePort, config, &pairs);
+            for shards in [1usize, 2, 3, 4] {
+                let got = sharded_report(&db, PortModel::SinglePort, config, &pairs, shards, 1);
+                assert_eq!(got, want, "depth={depth} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_with_mid_run_faults_both_responses() {
+        let (db, _) = machine_for(5, PortModel::SinglePort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let pairs = workload::uniform_pairs(n, 2 * n, &mut rng);
+        for response in [FaultResponse::Drop, FaultResponse::RerouteAdaptive] {
+            let config = CongestionConfig {
+                fault_response: response,
+                ..CongestionConfig::default()
+            };
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+            let mut want = super::super::CongestionSim::new(machine, config);
+            want.load_oblivious(&db, &Embedding::identity(n), &pairs);
+            want.schedule_fault(2, 3);
+            want.schedule_fault(4, 17);
+            let want = want.run();
+            for shards in [2usize, 3] {
+                let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+                let mut got = ShardedSim::new(machine, config, shards, 1);
+                got.load_oblivious(&db, &Embedding::identity(n), &pairs);
+                got.schedule_fault(2, 3);
+                got.schedule_fault(4, 17);
+                assert_eq!(got.run(), want, "response={response:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_report_matches_across_shards_and_threads() {
+        let (db, _) = machine_for(5, PortModel::SinglePort);
+        let n = db.node_count();
+        let spec = crate::workload::OpenLoopSpec {
+            offered_load: 0.30,
+            process: crate::workload::InjectionProcess::Bernoulli,
+            warmup_cycles: 16,
+            measure_cycles: 32,
+            drain_cycles: 256,
+            seed: 9,
+        };
+        let injections = crate::workload::open_loop_injections(n, &spec);
+        let config = CongestionConfig {
+            flow_control: FlowControl::CreditBased { buffer_depth: 2 },
+            ..CongestionConfig::default()
+        };
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+        let mut sim = super::super::CongestionSim::new(machine, config);
+        sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+        sim.schedule_fault(20, 5);
+        let want = measure_open_loop(&mut sim, &spec);
+        for (shards, threads) in [(2usize, 1usize), (3, 1), (2, 2), (3, 3)] {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+            let mut sharded = ShardedSim::new(machine, config, shards, threads);
+            sharded.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+            sharded.schedule_fault(20, 5);
+            let got = measure_open_loop(&mut sharded, &spec);
+            assert_eq!(got, want, "shards={shards} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_serial_run() {
+        let (db, _) = machine_for(6, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs = workload::uniform_pairs(n, 4 * n, &mut rng);
+        let config = CongestionConfig {
+            flow_control: FlowControl::CreditBased { buffer_depth: 1 },
+            ..CongestionConfig::default()
+        };
+        let serial = sharded_report(&db, PortModel::MultiPort, config, &pairs, 4, 1);
+        let threaded = sharded_report(&db, PortModel::MultiPort, config, &pairs, 4, 4);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn deadlock_is_detected_identically() {
+        // A 2-cycle of mutual traffic under depth-1 buffers wedges; both
+        // engines must agree on the deadlocked flag and the cycle count.
+        let (db, _) = machine_for(3, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut pairs = Vec::new();
+        for s in 0..n {
+            pairs.push((s, (s + n / 2) % n));
+            pairs.push((s, (s + n / 2 + 1) % n));
+            pairs.push(((s + 1) % n, (s + n / 2) % n));
+        }
+        let config = CongestionConfig {
+            flow_control: FlowControl::CreditBased { buffer_depth: 1 },
+            ..CongestionConfig::default()
+        };
+        let want = single_report(&db, PortModel::MultiPort, config, &pairs);
+        for shards in [2usize, 4] {
+            for threads in [1usize, 2] {
+                let got =
+                    sharded_report(&db, PortModel::MultiPort, config, &pairs, shards, threads);
+                assert_eq!(got, want, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit route state only")]
+    fn materialized_loads_are_rejected() {
+        let (_, machine) = machine_for(3, PortModel::MultiPort);
+        let config = CongestionConfig {
+            route_source: RouteSource::Materialized,
+            ..CongestionConfig::default()
+        };
+        let _ = ShardedSim::new(machine, config, 2, 1);
+    }
+
+    #[test]
+    fn route_state_is_o_packets_not_o_packets_times_h() {
+        let (db, machine) = machine_for(10, PortModel::MultiPort);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let pairs = workload::permutation_pairs(n, &mut rng);
+        let mut sim = ShardedSim::new(machine, CongestionConfig::default(), 4, 1);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        let bytes = sim.route_state_bytes();
+        // 4 cores x (8B entry + 16B registers/cursor/seg_end) per packet
+        // plus the driver's 4B logical target: comfortably under 192B per
+        // packet, independent of h = 10 (a materialized load would add
+        // ~8 x 11B of path entries per packet on top).
+        assert!(
+            bytes < pairs.len() * 192,
+            "route state {bytes}B for {} packets",
+            pairs.len()
+        );
+        let report = sim.run();
+        assert_eq!(report.delivered, n as u64);
+    }
+}

@@ -45,5 +45,7 @@ pub mod metrics;
 pub mod routing;
 pub mod workload;
 
-pub use congestion::{CongestionConfig, CongestionReport, CongestionSim, FaultResponse};
+pub use congestion::{
+    CongestionConfig, CongestionEngine, CongestionReport, CongestionSim, FaultResponse, ShardedSim,
+};
 pub use machine::{PhysicalMachine, PortModel, SimError};

@@ -246,6 +246,67 @@ fn fault_set_scratch_api_exists_for_callers() {
 }
 
 #[test]
+fn implicit_route_state_is_o1_per_packet_not_oh() {
+    let _guard = serial_guard();
+    // The million-node acceptance bound: per-packet route state must be O(1)
+    // for oblivious packets — no materialized path array. Loading the SAME
+    // packet count at h = 8 and h = 14 must cost identical implicit route
+    // state (it is a packed entry plus a two-word shift register per
+    // packet), while the materialized representation pays O(h) per packet.
+    use ftdb_sim::congestion::{CongestionConfig, CongestionSim, RouteSource, ShardedSim};
+    let packets = 512;
+    let single_bytes = |h: usize, route_source: RouteSource| {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                route_source,
+                ..CongestionConfig::default()
+            },
+        );
+        let mut rng = ftdb_tests::seeded_rng(77);
+        let pairs = workload::uniform_pairs(n, packets, &mut rng);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        sim.route_state_bytes()
+    };
+    let imp_small = single_bytes(8, RouteSource::Implicit);
+    let imp_large = single_bytes(14, RouteSource::Implicit);
+    assert_eq!(
+        imp_small, imp_large,
+        "implicit route state must not scale with h"
+    );
+    let mat_small = single_bytes(8, RouteSource::Materialized);
+    let mat_large = single_bytes(14, RouteSource::Materialized);
+    assert!(
+        mat_large > mat_small,
+        "materialized route state must grow with h ({mat_small} vs {mat_large})"
+    );
+    assert!(
+        2 * imp_large < mat_large,
+        "implicit ({imp_large} B) must undercut materialized ({mat_large} B)"
+    );
+    // The sharded engine carries the same O(1)-per-packet representation in
+    // every shard core: equally h-independent.
+    let sharded_bytes = |h: usize| {
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = ShardedSim::new(machine, CongestionConfig::default(), 4, 1);
+        let mut rng = ftdb_tests::seeded_rng(77);
+        let pairs = workload::uniform_pairs(n, packets, &mut rng);
+        sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+        sim.route_state_bytes()
+    };
+    assert_eq!(
+        sharded_bytes(8),
+        sharded_bytes(14),
+        "sharded implicit route state must not scale with h"
+    );
+}
+
+#[test]
 fn credit_flow_cycle_loop_is_allocation_free_after_warmup() {
     let _guard = serial_guard();
     // The bounded-buffer engine adds credit counters, a pending-return set

@@ -14,7 +14,7 @@ use ftdb_analysis::sim_experiments::{sim5_load_sweep, SweepScenario};
 use ftdb_graph::Embedding;
 use ftdb_sim::congestion::{
     measure_open_loop, CongestionConfig, CongestionReport, CongestionSim, EngineKind,
-    FaultResponse, FlowControl,
+    FaultResponse, FlowControl, RouteSource, ShardedSim,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::workload::{self, InjectionProcess, OpenLoopSpec};
@@ -39,6 +39,7 @@ struct RunOutcome {
 #[allow(clippy::too_many_arguments)]
 fn drive(
     engine: EngineKind,
+    route_source: RouteSource,
     h: usize,
     port: PortModel,
     flow: FlowControl,
@@ -53,6 +54,7 @@ fn drive(
         flow_control: flow,
         fault_response: response,
         engine,
+        route_source,
         // Small cap so pathological schedules still finish fast; identical
         // caps on both engines keep truncated runs comparable too.
         max_cycles: 5_000,
@@ -97,6 +99,7 @@ fn assert_engines_agree(
 ) {
     let wake = drive(
         EngineKind::WakeList,
+        RouteSource::Implicit,
         h,
         port,
         flow,
@@ -107,6 +110,7 @@ fn assert_engines_agree(
     );
     let naive = drive(
         EngineKind::NaiveScan,
+        RouteSource::Implicit,
         h,
         port,
         flow,
@@ -122,6 +126,107 @@ fn assert_engines_agree(
     );
     // "Byte-identical" taken literally: the rendered reports match too.
     assert_eq!(wake.report_text, naive.report_text);
+    // Route-source differential: the O(1) digit-shift generator (the
+    // default above) must reproduce the materialized-path engine
+    // byte-for-byte on the same workload — including mid-run re-routes,
+    // which materialize implicit packets into the segment side table.
+    let materialized = drive(
+        EngineKind::WakeList,
+        RouteSource::Materialized,
+        h,
+        port,
+        flow,
+        response,
+        pairs,
+        schedule,
+        timed,
+    );
+    assert_report_fields_equal(&wake.report, &materialized.report);
+    assert_eq!(
+        wake, materialized,
+        "route sources diverged (h={h}, {port:?}, {flow:?}, {response:?})"
+    );
+    // Shard differential: the partitioned engine must reproduce the
+    // single-table run byte-for-byte for every shard count — and a
+    // threaded run must match its own serial run (one worker per shard,
+    // deterministic (dst, src) barrier merge).
+    for (shards, threads) in [(1usize, 1usize), (2, 1), (4, 1), (4, 2)] {
+        let sharded = drive_sharded(
+            shards, threads, h, port, flow, response, pairs, schedule, timed,
+        );
+        assert_report_fields_equal(&wake.report, &sharded.report);
+        assert_eq!(
+            (
+                &wake.report,
+                &wake.report_text,
+                &wake.counts,
+                &wake.outcomes
+            ),
+            (
+                &sharded.report,
+                &sharded.report_text,
+                &sharded.counts,
+                &sharded.outcomes
+            ),
+            "sharded engine diverged (h={h}, {port:?}, {flow:?}, {response:?}, \
+             shards={shards}, threads={threads})"
+        );
+    }
+}
+
+/// The sharded observables: everything [`drive`] collects except the
+/// per-link flit map and the credit-conservation probe, which the sharded
+/// engine does not expose (its equivalence is pinned through the report,
+/// the counts and every per-packet outcome stamp instead).
+struct ShardedOutcome {
+    report: CongestionReport,
+    report_text: String,
+    counts: (u64, u64, u64, u64),
+    outcomes: Vec<(u32, Option<u32>, Option<u32>)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_sharded(
+    shards: usize,
+    threads: usize,
+    h: usize,
+    port: PortModel,
+    flow: FlowControl,
+    response: FaultResponse,
+    pairs: &[(usize, usize)],
+    schedule: &[(u32, usize)],
+    timed: Option<&[(u32, usize, usize)]>,
+) -> ShardedOutcome {
+    let db = DeBruijn2::new(h);
+    let machine = PhysicalMachine::new(db.graph().clone(), port);
+    let config = CongestionConfig {
+        flow_control: flow,
+        fault_response: response,
+        engine: EngineKind::WakeList,
+        route_source: RouteSource::Implicit,
+        max_cycles: 5_000,
+    };
+    let mut sim = ShardedSim::new(machine, config, shards, threads);
+    let placement = Embedding::identity(db.node_count());
+    match timed {
+        Some(injections) => sim.load_oblivious_timed(&db, &placement, injections),
+        None => sim.load_oblivious(&db, &placement, pairs),
+    }
+    for &(cycle, node) in schedule {
+        sim.schedule_fault(cycle, node);
+    }
+    sim.run_to_quiescence();
+    let report = sim.report();
+    let report_text = format!("{report:?}");
+    let outcomes = (0..sim.counts().0 as usize)
+        .map(|id| sim.packet_outcome(id))
+        .collect();
+    ShardedOutcome {
+        report,
+        report_text,
+        counts: sim.counts(),
+        outcomes,
+    }
 }
 
 /// Field-by-field equality over every public `CongestionReport` field,

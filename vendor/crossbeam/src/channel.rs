@@ -1,0 +1,95 @@
+//! Minimal vendored subset of `crossbeam::channel`: an unbounded MPSC
+//! channel implemented over `std::sync::mpsc`.
+//!
+//! Only the surface the workspace uses is provided — [`unbounded`],
+//! cloneable [`Sender`]s, and a [`Receiver`] with `recv`/`try_iter` — which
+//! is what the sharded congestion engine needs to ship boundary batches
+//! from scoped worker threads back to the merging driver at each cycle
+//! barrier. Semantics match crossbeam's for this subset: senders can be
+//! cloned across threads, `recv` blocks until a message or disconnection,
+//! and `try_iter` drains without blocking.
+
+use std::sync::mpsc;
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// The sending half; clone one per worker thread.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message; errors only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Drains every message currently queued without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.inner.try_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cloned_senders_feed_one_receiver_across_threads() {
+        let (tx, rx) = super::unbounded::<usize>();
+        let result = crate::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+        });
+        assert!(result.is_ok());
+        drop(tx);
+        let mut got: Vec<usize> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_errors_once_senders_are_gone() {
+        let (tx, rx) = super::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(super::RecvError));
+    }
+}

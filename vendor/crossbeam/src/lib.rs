@@ -49,6 +49,8 @@ pub mod thread {
     pub use super::{scope, PanicPayload, Scope};
 }
 
+pub mod channel;
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
