@@ -15,3 +15,28 @@ pub fn step(q: &[u64]) -> u64 {
     let _ = HashSet::<u64>::new();
     *head
 }
+
+/// Hot entry whose helper lives outside the hot set: seeds the
+/// transitive panic rule in `metrics.rs`.
+pub fn report(q: &[u64]) -> u64 {
+    crate::metrics::summarize(q)
+}
+
+// analyzer: alloc-free
+pub fn hot_helper(x: u64) -> u64 {
+    widen(x)
+}
+
+pub fn widen(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+// analyzer: alloc-free
+pub fn ping(n: u64) -> u64 {
+    if n == 0 { 0 } else { pong(n - 1) }
+}
+
+// analyzer: alloc-free
+pub fn pong(n: u64) -> u64 {
+    ping(n)
+}

@@ -1,0 +1,15 @@
+// Seeded sharded-engine protocol violations: an unjoined spawn, a lock,
+// an unmatched channel send, and an unsorted boundary merge.
+
+/// Drives one worker round; every line below breaks one protocol rule.
+pub fn drive(batches: &mut Vec<(u32, u32)>, out_tx: Sender<u64>) -> u64 {
+    let worker = std::thread::spawn(move || 1u64);
+    let guard = std::sync::Mutex::new(0u64);
+    let _ = out_tx.send(1);
+    let mut cycles = 0u64;
+    for b in batches.iter() {
+        cycles += (b.0 + b.1) as u64;
+    }
+    let _ = (worker, guard);
+    cycles
+}

@@ -1,16 +1,26 @@
-//! Per-file analysis: runs the rule scanners over masked source, applies
-//! `// analyzer:` directives, and reports findings.
+//! Per-file analysis: parses `// analyzer:` directives into a reusable
+//! [`FileUnit`], runs the token-level rule scanners over masked source, and
+//! reconciles findings against the allowlist.
 //!
 //! ## Directive syntax
 //!
 //! * `// analyzer: alloc-free` — on its own line immediately above a `fn`
 //!   (attributes and doc comments may intervene): the function's body must
-//!   not contain any allocating call ([`crate::rules::alloc_hits`]).
+//!   not contain any allocating call ([`crate::rules::alloc_hits`]), and —
+//!   since PR 8 — every workspace function it *calls* must itself be
+//!   annotated `alloc-free` ([`crate::interproc`]).
 //! * `// analyzer: allow(<rule>[, <rule>...]) -- <justification>` — trailing
 //!   on the violating line, or on its own line immediately above it:
 //!   suppresses findings of the named rule(s) on that line. The
-//!   justification is mandatory, and an allow that suppresses nothing is
-//!   itself an error (`stale-allow`), so the allowlist cannot rot.
+//!   justification is mandatory; an allow that suppresses nothing is an
+//!   error (`stale-allow`), and an allow that suppresses *more than one*
+//!   finding is too (`overloaded-allow`) — one allow per violation, so the
+//!   allowlist can be audited site by site (`ftdb-analyzer allows`).
+//! * `// analyzer: trusted-call -- <justification>` — trailing on a call
+//!   line, or on its own line immediately above it: the interprocedural
+//!   passes treat call sites on that line as opaque-but-vetted edges (not
+//!   followed for panic reachability, accepted inside `alloc-free`
+//!   functions). The justification is mandatory.
 //!
 //! Code inside `#[cfg(test)]` items is exempt from all rules: tests may
 //! unwrap, allocate, and compare floats — the gate protects shipped hot
@@ -28,8 +38,29 @@ pub struct Finding {
     pub line: usize,
     /// The rule that produced the finding.
     pub rule: RuleId,
-    /// Human-readable description.
+    /// Human-readable description (interprocedural findings embed their
+    /// call chain here too, so the text diagnostic is self-contained).
     pub message: String,
+    /// The call chain for interprocedural findings, entry point first,
+    /// each element `file.rs::function`. Empty for single-file findings.
+    pub chain: Vec<String>,
+    /// For allowlist findings (`stale-allow`/`overloaded-allow`), the
+    /// justification text of the offending directive.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// A single-file finding with no chain or justification payload.
+    pub fn new(file: &str, line: usize, rule: RuleId, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            chain: Vec::new(),
+            justification: None,
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -45,50 +76,99 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// A parsed `allow` directive and its suppression bookkeeping.
-#[derive(Debug)]
-struct Allow {
-    directive_line: usize,
-    target_line: usize,
-    rule: RuleId,
-    used: bool,
+/// One parsed `allow` directive: where it is, what it excuses, why, and how
+/// many findings it ended up suppressing.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// Line the directive itself sits on.
+    pub directive_line: usize,
+    /// Code line the directive applies to.
+    pub target_line: usize,
+    /// The rule it suppresses.
+    pub rule: RuleId,
+    /// Mandatory justification text.
+    pub justification: String,
+    /// Findings suppressed (filled by [`apply_allows`]); exactly one is
+    /// healthy, zero is `stale-allow`, more is `overloaded-allow`.
+    pub uses: usize,
 }
 
-/// Analyzes one file's source text under `set`, returning its findings
-/// sorted by line.
-pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
+/// One source file, parsed once: masked lines, test-exemption map, and
+/// every directive — the shared substrate for the per-file scanners, the
+/// call-graph builder, and the interprocedural passes.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative, `/`-separated path.
+    pub rel: String,
+    /// Masked source lines ([`crate::lexer::mask`]).
+    pub lines: Vec<MaskedLine>,
+    /// Per-line `#[cfg(test)]` exemption flags.
+    pub exempt: Vec<bool>,
+    /// Parsed `allow` directives.
+    pub allows: Vec<AllowSite>,
+    /// 1-based inclusive body spans of `alloc-free`-annotated functions
+    /// (first element is the `fn` line).
+    pub alloc_spans: Vec<(usize, usize)>,
+    /// Target lines of `trusted-call` directives.
+    pub trusted: Vec<usize>,
+    /// Malformed-directive findings raised during parsing.
+    pub problems: Vec<Finding>,
+}
+
+impl FileUnit {
+    /// True when 1-based `line` is inside an `alloc-free` function body.
+    pub fn in_alloc_span(&self, line: usize) -> bool {
+        self.alloc_spans
+            .iter()
+            .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// True when 1-based `line` carries a `trusted-call` directive.
+    pub fn is_trusted_line(&self, line: usize) -> bool {
+        self.trusted.contains(&line)
+    }
+}
+
+/// Parses one file's directives into a [`FileUnit`].
+pub fn parse_unit(rel: &str, source: &str) -> FileUnit {
     let lines = mask(source);
     let exempt = test_exempt_lines(&lines);
-    let mut findings = Vec::new();
-    let mut allows: Vec<Allow> = Vec::new();
-    let mut alloc_spans: Vec<(usize, usize)> = Vec::new();
-
-    // Pass 1: directives.
-    for (idx, line) in lines.iter().enumerate() {
-        if exempt[idx] {
+    let mut unit = FileUnit {
+        rel: rel.to_string(),
+        lines,
+        exempt,
+        allows: Vec::new(),
+        alloc_spans: Vec::new(),
+        trusted: Vec::new(),
+        problems: Vec::new(),
+    };
+    for idx in 0..unit.lines.len() {
+        if unit.exempt[idx] {
             continue;
         }
+        let line = &unit.lines[idx];
         let comment = match &line.comment {
             Some(c) => c.trim(),
             None => continue,
         };
         let body = match comment.strip_prefix("analyzer:") {
-            Some(b) => b.trim(),
+            Some(b) => b.trim().to_string(),
             None => continue,
         };
         let lineno = idx + 1;
+        let own_line = line.code.trim().is_empty();
         if body == "alloc-free" {
-            if !line.code.trim().is_empty() {
-                findings.push(bad_directive(
-                    file,
+            if !own_line {
+                unit.problems.push(bad_directive(
+                    rel,
                     lineno,
                     "`alloc-free` must be on its own line above the function it annotates",
                 ));
             } else {
-                match alloc_span(&lines, idx) {
-                    Some(span) => alloc_spans.push(span),
-                    None => findings.push(bad_directive(
-                        file,
+                match alloc_span(&unit.lines, idx) {
+                    Some(span) => unit.alloc_spans.push(span),
+                    None => unit.problems.push(bad_directive(
+                        rel,
                         lineno,
                         "`alloc-free` is not followed by a function",
                     )),
@@ -96,15 +176,15 @@ pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
             }
         } else if let Some(rest) = body.strip_prefix("allow(") {
             match parse_allow(rest) {
-                Ok((rule_names, _justification)) => {
-                    let target = if line.code.trim().is_empty() {
-                        next_code_line(&lines, idx)
+                Ok((rule_names, justification)) => {
+                    let target = if own_line {
+                        next_code_line(&unit.lines, idx)
                     } else {
                         Some(lineno)
                     };
                     let Some(target_line) = target else {
-                        findings.push(bad_directive(
-                            file,
+                        unit.problems.push(bad_directive(
+                            rel,
                             lineno,
                             "`allow` has no following code line to apply to",
                         ));
@@ -112,35 +192,67 @@ pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
                     };
                     for name in rule_names {
                         match RuleId::from_name(&name) {
-                            Some(rule) => allows.push(Allow {
+                            Some(rule) => unit.allows.push(AllowSite {
                                 directive_line: lineno,
                                 target_line,
                                 rule,
-                                used: false,
+                                justification: justification.clone(),
+                                uses: 0,
                             }),
-                            None => findings.push(bad_directive(
-                                file,
+                            None => unit.problems.push(bad_directive(
+                                rel,
                                 lineno,
                                 &format!("unknown rule `{name}` in `allow(..)`"),
                             )),
                         }
                     }
                 }
-                Err(msg) => findings.push(bad_directive(file, lineno, msg)),
+                Err(msg) => unit.problems.push(bad_directive(rel, lineno, msg)),
+            }
+        } else if let Some(rest) = body.strip_prefix("trusted-call") {
+            let justification = rest.trim().strip_prefix("--").map(str::trim);
+            match justification {
+                Some(j) if !j.is_empty() => {
+                    let target = if own_line {
+                        next_code_line(&unit.lines, idx)
+                    } else {
+                        Some(lineno)
+                    };
+                    match target {
+                        Some(t) => unit.trusted.push(t),
+                        None => unit.problems.push(bad_directive(
+                            rel,
+                            lineno,
+                            "`trusted-call` has no following code line to apply to",
+                        )),
+                    }
+                }
+                _ => unit.problems.push(bad_directive(
+                    rel,
+                    lineno,
+                    "`trusted-call` needs a ` -- <justification>`",
+                )),
             }
         } else {
-            findings.push(bad_directive(
-                file,
+            unit.problems.push(bad_directive(
+                rel,
                 lineno,
                 &format!("unknown directive `analyzer: {body}`"),
             ));
         }
     }
+    unit
+}
 
-    // Pass 2: rules.
+/// Runs the per-file (intraprocedural) rule scanners over `unit` under
+/// `set`, returning *raw* findings — allowlist reconciliation happens
+/// later, in [`apply_allows`], so interprocedural findings share the same
+/// allow bookkeeping.
+pub fn scan_unit(unit: &FileUnit, set: RuleSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let mut hits = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if exempt[idx] {
+    for (idx, line) in unit.lines.iter().enumerate() {
+        if unit.exempt[idx] {
             continue;
         }
         let lineno = idx + 1;
@@ -151,52 +263,88 @@ pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
         if set.determinism {
             rules::determinism_hits(&line.code, &mut hits);
         }
-        if alloc_spans.iter().any(|&(s, e)| lineno >= s && lineno <= e) {
+        if unit.in_alloc_span(lineno) {
             rules::alloc_hits(&line.code, &mut hits);
         }
-        'hit: for hit in hits.drain(..) {
-            for allow in allows.iter_mut() {
-                if allow.target_line == lineno && allow.rule == hit.rule {
-                    allow.used = true;
-                    continue 'hit;
+        for hit in hits.drain(..) {
+            findings.push(Finding::new(&unit.rel, lineno, hit.rule, hit.message));
+        }
+    }
+    findings
+}
+
+/// Reconciles raw findings against every unit's allowlist: suppressed
+/// findings are dropped (counting each allow's uses), then stale and
+/// overloaded allows become findings themselves. Directive problems are
+/// appended too, so the result is the complete diagnosis for `units`.
+pub fn apply_allows(units: &mut [FileUnit], raw: Vec<Finding>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    'finding: for f in raw {
+        for unit in units.iter_mut() {
+            if unit.rel != f.file {
+                continue;
+            }
+            for allow in unit.allows.iter_mut() {
+                if allow.target_line == f.line && allow.rule == f.rule {
+                    allow.uses += 1;
+                    continue 'finding;
                 }
             }
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                rule: hit.rule,
-                message: hit.message,
-            });
         }
+        findings.push(f);
     }
-
-    // Pass 3: allowlist staleness.
-    for allow in &allows {
-        if !allow.used {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: allow.directive_line,
-                rule: RuleId::StaleAllow,
-                message: format!(
-                    "`allow({})` suppresses nothing on line {}; remove it",
-                    allow.rule.name(),
-                    allow.target_line
-                ),
-            });
+    for unit in units.iter() {
+        for allow in &unit.allows {
+            if allow.uses == 0 {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: allow.directive_line,
+                    rule: RuleId::StaleAllow,
+                    message: format!(
+                        "`allow({})` suppresses nothing on line {}; remove it",
+                        allow.rule.name(),
+                        allow.target_line
+                    ),
+                    chain: Vec::new(),
+                    justification: Some(allow.justification.clone()),
+                });
+            } else if allow.uses > 1 {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: allow.directive_line,
+                    rule: RuleId::OverloadedAllow,
+                    message: format!(
+                        "`allow({})` suppresses {} findings on line {}; split the line so \
+                         each violation carries its own allow",
+                        allow.rule.name(),
+                        allow.uses,
+                        allow.target_line
+                    ),
+                    chain: Vec::new(),
+                    justification: Some(allow.justification.clone()),
+                });
+            }
         }
+        findings.extend(unit.problems.iter().cloned());
     }
+    findings
+}
 
+/// Analyzes one file's source text under `set` — parse, scan, reconcile —
+/// returning its findings sorted by line. The single-file convenience
+/// wrapper over [`parse_unit`]/[`scan_unit`]/[`apply_allows`]; the
+/// workspace gate ([`crate::policy::check`]) drives the same pieces plus
+/// the interprocedural passes.
+pub fn analyze_source(file: &str, source: &str, set: RuleSet) -> Vec<Finding> {
+    let mut unit = parse_unit(file, source);
+    let raw = scan_unit(&unit, set);
+    let mut findings = apply_allows(std::slice::from_mut(&mut unit), raw);
     findings.sort_by_key(|a| (a.line, a.rule));
     findings
 }
 
 fn bad_directive(file: &str, line: usize, msg: &str) -> Finding {
-    Finding {
-        file: file.to_string(),
-        line,
-        rule: RuleId::BadDirective,
-        message: msg.to_string(),
-    }
+    Finding::new(file, line, RuleId::BadDirective, msg.to_string())
 }
 
 /// Parses the tail of `allow(` — `rule[, rule]) -- justification` — into
@@ -277,7 +425,9 @@ fn alloc_span(lines: &[MaskedLine], idx: usize) -> Option<(usize, usize)> {
     opened.then_some((fn_idx + 1, lines.len()))
 }
 
-fn has_fn_keyword(code: &str) -> bool {
+/// True when the masked line contains the `fn` keyword with identifier
+/// boundaries (not `fn_ptr` or `a_fn`).
+pub fn has_fn_keyword(code: &str) -> bool {
     let mut from = 0;
     while let Some(rel) = code[from..].find("fn") {
         let at = from + rel;
@@ -385,6 +535,15 @@ mod tests {
         let src = "fn f() {\n    // analyzer: allow(unwrap) -- nothing here\n    let y = 1;\n}\n";
         let f = analyze_source("m.rs", src, PANIC_SET);
         assert_eq!(rules_of(&f), vec![(2, RuleId::StaleAllow)]);
+        assert_eq!(f[0].justification.as_deref(), Some("nothing here"));
+    }
+
+    #[test]
+    fn overloaded_allow_is_a_finding() {
+        let src = "// analyzer: alloc-free\nfn f(v: &mut Vec<u32>, w: &mut Vec<u32>) {\n    v.push(1); w.insert(0, 2) // analyzer: allow(alloc) -- two at once\n}\n";
+        let f = analyze_source("m.rs", src, RuleSet::default());
+        assert_eq!(rules_of(&f), vec![(3, RuleId::OverloadedAllow)]);
+        assert!(f[0].message.contains("2 findings"), "{}", f[0].message);
     }
 
     #[test]
@@ -422,5 +581,20 @@ mod tests {
         let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyzer: allow(unwrap, expect) -- only unwrap fires\n}\n";
         let f = analyze_source("m.rs", src, PANIC_SET);
         assert_eq!(rules_of(&f), vec![(2, RuleId::StaleAllow)]);
+    }
+
+    #[test]
+    fn trusted_call_parses_with_justification_only() {
+        let unit = parse_unit(
+            "m.rs",
+            "fn f() {\n    helper(); // analyzer: trusted-call -- vetted by hand\n    // analyzer: trusted-call -- own line form\n    other();\n}\n",
+        );
+        assert_eq!(unit.trusted, vec![2, 4]);
+        assert!(unit.problems.is_empty(), "{:?}", unit.problems);
+        let unit = parse_unit(
+            "m.rs",
+            "fn f() {\n    helper(); // analyzer: trusted-call\n}\n",
+        );
+        assert_eq!(rules_of(&unit.problems), vec![(2, RuleId::BadDirective)]);
     }
 }

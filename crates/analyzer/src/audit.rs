@@ -18,15 +18,18 @@ use crate::lexer::{is_ident_char, mask};
 use crate::rules::RuleId;
 
 /// One audit: `struct_name` in `struct_file` versus the comparisons in
-/// `test_file` (all paths workspace-relative).
+/// each of `test_files` (all paths workspace-relative). *Every* listed
+/// suite must compare every public field — the engine-vs-rescan suite and
+/// the sharded determinism suite each make an independent byte-identical
+/// claim, and a field absent from either one escapes that claim.
 #[derive(Debug, Clone)]
 pub struct AuditSpec {
     /// File declaring the report struct.
     pub struct_file: String,
     /// The struct whose public fields are load-bearing.
     pub struct_name: String,
-    /// The differential suite that must compare every field.
-    pub test_file: String,
+    /// The differential suites that must each compare every field.
+    pub test_files: Vec<String>,
 }
 
 /// Runs one audit, returning `diff-coverage` findings for uncovered fields
@@ -61,45 +64,43 @@ pub fn differential_coverage(root: &Path, spec: &AuditSpec) -> io::Result<Vec<Fi
         ));
         return Ok(findings);
     };
-    let test_path = root.join(&spec.test_file);
-    let test_src = match fs::read_to_string(&test_path) {
-        Ok(s) => s,
-        Err(_) => {
-            findings.push(audit_finding(
-                &spec.test_file,
-                1,
-                format!(
-                    "differential suite `{}` is missing — the equivalence claim is untested",
-                    spec.test_file
-                ),
-            ));
-            return Ok(findings);
-        }
-    };
-    let test_code: Vec<String> = mask(&test_src).into_iter().map(|l| l.code).collect();
-    for (line, field) in fields {
-        let covered = test_code.iter().any(|code| contains_word(code, &field));
-        if !covered {
-            findings.push(audit_finding(
-                &spec.struct_file,
-                line,
-                format!(
-                    "`{}::{}` is never compared in `{}`; a divergence in it would ship silently",
-                    spec.struct_name, field, spec.test_file
-                ),
-            ));
+    for test_file in &spec.test_files {
+        let test_path = root.join(test_file);
+        let test_src = match fs::read_to_string(&test_path) {
+            Ok(s) => s,
+            Err(_) => {
+                findings.push(audit_finding(
+                    test_file,
+                    1,
+                    format!(
+                        "differential suite `{test_file}` is missing — the equivalence claim \
+                         is untested"
+                    ),
+                ));
+                continue;
+            }
+        };
+        let test_code: Vec<String> = mask(&test_src).into_iter().map(|l| l.code).collect();
+        for (line, field) in &fields {
+            let covered = test_code.iter().any(|code| contains_word(code, field));
+            if !covered {
+                findings.push(audit_finding(
+                    &spec.struct_file,
+                    *line,
+                    format!(
+                        "`{}::{}` is never compared in `{}`; a divergence in it would ship \
+                         silently",
+                        spec.struct_name, field, test_file
+                    ),
+                ));
+            }
         }
     }
     Ok(findings)
 }
 
 fn audit_finding(file: &str, line: usize, message: String) -> Finding {
-    Finding {
-        file: file.to_string(),
-        line,
-        rule: RuleId::DiffCoverage,
-        message,
-    }
+    Finding::new(file, line, RuleId::DiffCoverage, message)
 }
 
 /// Parses `pub struct <name> { ... }` from masked source, returning each

@@ -1,0 +1,359 @@
+//! Interprocedural rules over the extracted call graph: transitive
+//! panic-freedom, alloc-free propagation, and recursion detection in the
+//! alloc-free subgraph.
+//!
+//! All three walk [`crate::callgraph::CallGraph`] edges. Opaque edges
+//! (no workspace candidate) are not traversed — the callee's body is
+//! outside the workspace, and what escapes through such calls is exactly
+//! what the per-line textual rules police. A `trusted-call` directive
+//! demotes a *resolved* edge to the same vetted-opaque status.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analyze::{FileUnit, Finding};
+use crate::callgraph::CallGraph;
+use crate::policy::Policy;
+use crate::rules::{self, RuleId};
+
+/// Transitive panic-freedom: every function reachable (through resolved,
+/// non-trusted edges) from a function in a hot-path module inherits the
+/// panic rules, and each violation's diagnostic prints the call chain
+/// that makes it hot.
+pub fn transitive_panic(units: &[FileUnit], graph: &CallGraph, policy: &Policy) -> Vec<Finding> {
+    let hot_unit: Vec<bool> = units
+        .iter()
+        .map(|u| policy.panic_files.iter().any(|p| p == &u.rel))
+        .collect();
+    // BFS from every hot-path function at once, keeping parent pointers so
+    // a violation can print one concrete entry→sink chain.
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if hot_unit[f.unit] {
+            parent.insert(i, None);
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for site in &graph.calls[i] {
+            if site.trusted {
+                continue;
+            }
+            for &c in &site.candidates {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(c) {
+                    e.insert(Some(i));
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    let mut hits = Vec::new();
+    for &i in parent.keys() {
+        let f = &graph.fns[i];
+        if hot_unit[f.unit] {
+            continue; // already under the direct per-line panic rules
+        }
+        let unit = &units[f.unit];
+        let chain = chain_to(units, graph, &parent, i);
+        for idx in f.sig_line - 1..f.end_line.min(unit.lines.len()) {
+            if unit.exempt[idx] {
+                continue;
+            }
+            hits.clear();
+            rules::panic_hits(&unit.lines[idx].code, &mut hits);
+            for hit in hits.drain(..) {
+                findings.push(Finding {
+                    file: unit.rel.clone(),
+                    line: idx + 1,
+                    rule: RuleId::TransitivePanic,
+                    message: format!(
+                        "{} — reachable from the hot path: {}",
+                        hit.message,
+                        chain.join(" → ")
+                    ),
+                    chain: chain.clone(),
+                    justification: None,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Renders the BFS entry→`to` chain as `file.rs::fn` labels.
+fn chain_to(
+    units: &[FileUnit],
+    graph: &CallGraph,
+    parent: &BTreeMap<usize, Option<usize>>,
+    to: usize,
+) -> Vec<String> {
+    let mut chain = vec![graph.label(units, to)];
+    let mut at = to;
+    while let Some(Some(p)) = parent.get(&at) {
+        chain.push(graph.label(units, *p));
+        at = *p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Alloc-free propagation: a function annotated `// analyzer: alloc-free`
+/// may only call (a) other alloc-free functions, or (b) opaque/trusted
+/// callees — those are covered by the textual allocation denylist inside
+/// the annotated span.
+pub fn alloc_propagation(units: &[FileUnit], graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !f.alloc_free {
+            continue;
+        }
+        for site in &graph.calls[i] {
+            if site.trusted || site.candidates.is_empty() {
+                continue;
+            }
+            // Method calls through a non-`self` receiver resolve by name
+            // only (over-approximate); holding every annotated function to
+            // everyone else's method names would drown the signal. Those
+            // lines stay covered by the textual allocation denylist.
+            if site.callee.starts_with('.') && !site.self_receiver {
+                continue;
+            }
+            let Some(&bad) = site.candidates.iter().find(|&&c| !graph.fns[c].alloc_free) else {
+                continue;
+            };
+            let callee = &graph.fns[bad];
+            findings.push(Finding {
+                file: units[f.unit].rel.clone(),
+                line: site.line,
+                rule: RuleId::AllocPropagation,
+                message: format!(
+                    "alloc-free `{}` calls `{}` ({}:{}), which is not annotated alloc-free",
+                    f.name, site.callee, units[callee.unit].rel, callee.sig_line
+                ),
+                chain: vec![graph.label(units, i), graph.label(units, bad)],
+                justification: None,
+            });
+        }
+    }
+    findings
+}
+
+/// Recursion detection inside the alloc-free subgraph: unbounded recursion
+/// is an unbounded stack allocation, so any cycle (including self-loops)
+/// among alloc-free functions is a finding, reported once per cycle at its
+/// first member.
+pub fn alloc_recursion(units: &[FileUnit], graph: &CallGraph) -> Vec<Finding> {
+    // Edges restricted to the alloc-free subgraph (trusted edges stay:
+    // trusting a call for allocation does not make recursion bounded).
+    let nodes: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.alloc_free)
+        .map(|(i, _)| i)
+        .collect();
+    let node_set: BTreeSet<usize> = nodes.iter().copied().collect();
+    let edges: BTreeMap<usize, Vec<usize>> = nodes
+        .iter()
+        .map(|&i| {
+            let mut out: Vec<usize> = graph.calls[i]
+                .iter()
+                .flat_map(|s| s.candidates.iter().copied())
+                .filter(|c| node_set.contains(c))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            (i, out)
+        })
+        .collect();
+    let mut findings = Vec::new();
+    for scc in tarjan_sccs(&nodes, &edges) {
+        let cyclic = scc.len() > 1 || edges.get(&scc[0]).is_some_and(|out| out.contains(&scc[0]));
+        if !cyclic {
+            continue;
+        }
+        let mut members = scc.clone();
+        members.sort_by_key(|&i| (graph.fns[i].unit, graph.fns[i].sig_line));
+        let head = &graph.fns[members[0]];
+        let chain: Vec<String> = members.iter().map(|&i| graph.label(units, i)).collect();
+        findings.push(Finding {
+            file: units[head.unit].rel.clone(),
+            line: head.sig_line,
+            rule: RuleId::AllocRecursion,
+            message: format!(
+                "recursion inside the alloc-free subgraph (unbounded stack growth): {}",
+                chain.join(" → ")
+            ),
+            chain,
+            justification: None,
+        });
+    }
+    findings
+}
+
+/// Iterative Tarjan strongly-connected components over the given nodes.
+fn tarjan_sccs(nodes: &[usize], edges: &BTreeMap<usize, Vec<usize>>) -> Vec<Vec<usize>> {
+    #[derive(Default, Clone)]
+    struct Meta {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+    let mut meta: BTreeMap<usize, Meta> = nodes.iter().map(|&n| (n, Meta::default())).collect();
+    let mut counter = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let empty: Vec<usize> = Vec::new();
+    // Explicit DFS frames: (node, next out-edge offset). Every visited
+    // node is seeded in `meta` (same `nodes` slice), so the `entry`
+    // lookups below never insert.
+    for &root in nodes {
+        if meta.entry(root).or_default().index.is_some() {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, next)) = frames.last() {
+            if next == 0 {
+                let m = meta.entry(v).or_default();
+                m.index = Some(counter);
+                m.lowlink = counter;
+                m.on_stack = true;
+                counter += 1;
+                stack.push(v);
+            }
+            let out = edges.get(&v).unwrap_or(&empty);
+            if let Some(&w) = out.get(next) {
+                if let Some(top) = frames.last_mut() {
+                    top.1 = next + 1;
+                }
+                let wm = meta.entry(w).or_default().clone();
+                match wm.index {
+                    None => frames.push((w, 0)),
+                    Some(wi) if wm.on_stack => {
+                        let m = meta.entry(v).or_default();
+                        m.lowlink = m.lowlink.min(wi);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                frames.pop();
+                let vm = meta.entry(v).or_default().clone();
+                let vindex = vm.index.unwrap_or(vm.lowlink);
+                if let Some(&(p, _)) = frames.last() {
+                    let m = meta.entry(p).or_default();
+                    m.lowlink = m.lowlink.min(vm.lowlink);
+                }
+                if vm.lowlink == vindex {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        meta.entry(w).or_default().on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse_unit;
+    use crate::callgraph;
+
+    fn setup(files: &[(&str, &str)]) -> (Vec<FileUnit>, CallGraph) {
+        let units: Vec<FileUnit> = files
+            .iter()
+            .map(|(rel, src)| parse_unit(rel, src))
+            .collect();
+        let graph = callgraph::build(&units);
+        (units, graph)
+    }
+
+    fn policy_with_hot(files: &[&str]) -> Policy {
+        let mut p = Policy::workspace();
+        p.panic_files = files.iter().map(|s| s.to_string()).collect();
+        p
+    }
+
+    #[test]
+    fn panic_in_cross_file_callee_is_reported_with_chain() {
+        let hot = "pub fn serve() {\n    ftdb_sim::helpers::merge();\n}\n";
+        let cold =
+            "pub fn merge() {\n    let v: Vec<u32> = Vec::new();\n    v.last().unwrap();\n}\n";
+        let (units, graph) = setup(&[
+            ("crates/sim/src/hot.rs", hot),
+            ("crates/sim/src/helpers.rs", cold),
+        ]);
+        let p = policy_with_hot(&["crates/sim/src/hot.rs"]);
+        let f = transitive_panic(&units, &graph, &p);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].file, "crates/sim/src/helpers.rs");
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].rule, RuleId::TransitivePanic);
+        assert_eq!(f[0].chain, vec!["hot.rs::serve", "helpers.rs::merge"]);
+        assert!(f[0].message.contains("hot.rs::serve → helpers.rs::merge"));
+    }
+
+    #[test]
+    fn trusted_call_cuts_the_edge() {
+        let hot = "pub fn serve() {\n    // analyzer: trusted-call -- panics only on poisoned input, pre-validated\n    helper_far();\n}\n";
+        let cold = "pub fn helper_far() {\n    panic!(\"boom\");\n}\n";
+        let (units, graph) = setup(&[
+            ("crates/sim/src/hot.rs", hot),
+            ("crates/sim/src/cold.rs", cold),
+        ]);
+        let p = policy_with_hot(&["crates/sim/src/hot.rs"]);
+        assert!(transitive_panic(&units, &graph, &p).is_empty());
+    }
+
+    #[test]
+    fn hot_files_themselves_are_not_double_reported() {
+        let hot = "pub fn serve(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let (units, graph) = setup(&[("crates/sim/src/hot.rs", hot)]);
+        let p = policy_with_hot(&["crates/sim/src/hot.rs"]);
+        // The direct per-line scan owns this; the transitive pass stays out.
+        assert!(transitive_panic(&units, &graph, &p).is_empty());
+    }
+
+    #[test]
+    fn alloc_free_calling_unannotated_is_a_finding() {
+        let src = "// analyzer: alloc-free\npub fn hot() {\n    cold();\n}\npub fn cold() {}\n";
+        let (units, graph) = setup(&[("crates/sim/src/a.rs", src)]);
+        let f = alloc_propagation(&units, &graph);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (3, RuleId::AllocPropagation));
+        assert_eq!(f[0].chain, vec!["a.rs::hot", "a.rs::cold"]);
+    }
+
+    #[test]
+    fn alloc_free_calling_alloc_free_or_opaque_is_fine() {
+        let src = "// analyzer: alloc-free\npub fn hot(x: u32) -> u32 {\n    let y = x.wrapping_add(1);\n    other(y)\n}\n// analyzer: alloc-free\npub fn other(x: u32) -> u32 {\n    x\n}\n";
+        let (units, graph) = setup(&[("crates/sim/src/a.rs", src)]);
+        assert!(alloc_propagation(&units, &graph).is_empty());
+    }
+
+    #[test]
+    fn recursion_in_alloc_free_subgraph_is_reported_once() {
+        let src = "// analyzer: alloc-free\npub fn ping(n: u32) {\n    pong(n)\n}\n// analyzer: alloc-free\npub fn pong(n: u32) {\n    ping(n)\n}\n// analyzer: alloc-free\npub fn own_loop(n: u32) {\n    own_loop(n)\n}\n";
+        let (units, graph) = setup(&[("crates/sim/src/a.rs", src)]);
+        let f = alloc_recursion(&units, &graph);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!((f[0].line, f[0].rule), (2, RuleId::AllocRecursion));
+        assert_eq!(f[0].chain, vec!["a.rs::ping", "a.rs::pong"]);
+        assert_eq!(f[1].line, 10);
+    }
+
+    #[test]
+    fn non_recursive_alloc_free_subgraph_is_clean() {
+        let src = "// analyzer: alloc-free\npub fn a() {\n    b()\n}\n// analyzer: alloc-free\npub fn b() {}\n";
+        let (units, graph) = setup(&[("crates/sim/src/a.rs", src)]);
+        assert!(alloc_recursion(&units, &graph).is_empty());
+    }
+}

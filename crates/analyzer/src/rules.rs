@@ -42,6 +42,31 @@ pub enum RuleId {
     /// A public report field that the differential equivalence suite never
     /// compares.
     DiffCoverage,
+    /// A panic-capable construct in a function *reachable* from a hot-path
+    /// module through the call graph (diagnosed with the offending chain).
+    TransitivePanic,
+    /// An `alloc-free` function calling a workspace function that is not
+    /// itself annotated `alloc-free` (or excused by `trusted-call`).
+    AllocPropagation,
+    /// Recursion inside the `alloc-free` subgraph — an unbounded stack is
+    /// an unbounded allocation.
+    AllocRecursion,
+    /// A channel `send`/`recv` outside the sharded engine's protocol table
+    /// (unmatched endpoint, or an endpoint ignoring the `_tx`/`_rx`
+    /// naming discipline the table is keyed by).
+    ChannelProtocol,
+    /// Boundary batches iterated in merge position without the
+    /// `(dst, src)` sort that makes the merge deterministic.
+    UnsortedMerge,
+    /// `Mutex`/`RwLock`/`Relaxed` atomics in the shard hot path — shard
+    /// state must be owned, not shared.
+    ShardLock,
+    /// `std::thread::spawn` in the sharded engine; only the scoped-worker
+    /// entry points may create threads.
+    ThreadSpawn,
+    /// A single `analyzer: allow` suppressing more than one finding
+    /// (one-allow-per-violation granularity).
+    OverloadedAllow,
     /// An `analyzer: allow(...)` that suppresses nothing.
     StaleAllow,
     /// A malformed or unknown `analyzer:` directive.
@@ -65,6 +90,14 @@ impl RuleId {
             RuleId::AmbientRng => "ambient-rng",
             RuleId::FloatEq => "float-eq",
             RuleId::DiffCoverage => "diff-coverage",
+            RuleId::TransitivePanic => "transitive-panic",
+            RuleId::AllocPropagation => "alloc-propagation",
+            RuleId::AllocRecursion => "alloc-recursion",
+            RuleId::ChannelProtocol => "channel-protocol",
+            RuleId::UnsortedMerge => "unsorted-merge",
+            RuleId::ShardLock => "shard-lock",
+            RuleId::ThreadSpawn => "thread-spawn",
+            RuleId::OverloadedAllow => "overloaded-allow",
             RuleId::StaleAllow => "stale-allow",
             RuleId::BadDirective => "bad-directive",
         }
@@ -77,7 +110,7 @@ impl RuleId {
 }
 
 /// Every rule, in diagnostic order.
-pub const ALL_RULES: [RuleId; 15] = [
+pub const ALL_RULES: [RuleId; 23] = [
     RuleId::Unwrap,
     RuleId::Expect,
     RuleId::Panic,
@@ -91,6 +124,14 @@ pub const ALL_RULES: [RuleId; 15] = [
     RuleId::AmbientRng,
     RuleId::FloatEq,
     RuleId::DiffCoverage,
+    RuleId::TransitivePanic,
+    RuleId::AllocPropagation,
+    RuleId::AllocRecursion,
+    RuleId::ChannelProtocol,
+    RuleId::UnsortedMerge,
+    RuleId::ShardLock,
+    RuleId::ThreadSpawn,
+    RuleId::OverloadedAllow,
     RuleId::StaleAllow,
     RuleId::BadDirective,
 ];
@@ -117,7 +158,7 @@ pub struct Hit {
 
 /// Returns the byte offsets at which `word` occurs in `code` with
 /// identifier boundaries on both sides.
-fn word_positions(code: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_positions(code: &str, word: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(rel) = code[from..].find(word) {
@@ -159,7 +200,7 @@ fn macro_call(code: &str, name: &str) -> bool {
 
 /// True when the literal path `path` (e.g. `Vec::new`) occurs with
 /// identifier boundaries at both ends.
-fn path_token(code: &str, path: &str) -> bool {
+pub(crate) fn path_token(code: &str, path: &str) -> bool {
     let mut from = 0;
     while let Some(rel) = code[from..].find(path) {
         let at = from + rel;

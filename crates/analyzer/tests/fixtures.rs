@@ -117,7 +117,7 @@ fn audit_flags_an_uncovered_field_at_its_declaration_line() {
     let spec = AuditSpec {
         struct_file: "fixtures/audit_report.rs".into(),
         struct_name: "MiniReport".into(),
-        test_file: "fixtures/audit_suite.rs".into(),
+        test_files: vec!["fixtures/audit_suite.rs".into()],
     };
     let f = differential_coverage(&manifest_dir(), &spec).expect("audit i/o");
     assert_eq!(f.len(), 1, "{f:#?}");
@@ -130,7 +130,7 @@ fn audit_cannot_be_disabled_by_renaming_the_struct() {
     let spec = AuditSpec {
         struct_file: "fixtures/audit_report.rs".into(),
         struct_name: "GhostReport".into(),
-        test_file: "fixtures/audit_suite.rs".into(),
+        test_files: vec!["fixtures/audit_suite.rs".into()],
     };
     let f = differential_coverage(&manifest_dir(), &spec).expect("audit i/o");
     assert_eq!(f.len(), 1, "{f:#?}");
@@ -177,6 +177,119 @@ fn cli_exits_one_on_the_seeded_tree() {
         "{stdout}"
     );
     assert!(stdout.contains("[diff-coverage]"), "{stdout}");
+    // One seed per interprocedural / concurrency rule family, each at its
+    // exact line.
+    assert!(
+        stdout.contains("crates/sim/src/congestion/engine.rs:27: [alloc-propagation]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/src/congestion/engine.rs:35: [alloc-recursion]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/src/congestion/shard.rs:6: [thread-spawn]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/src/congestion/shard.rs:7: [shard-lock]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/src/congestion/shard.rs:8: [channel-protocol]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/src/congestion/shard.rs:10: [unsorted-merge]"),
+        "{stdout}"
+    );
+    // The cross-file panic reachability diagnostic names the concrete
+    // entry→sink call chain.
+    assert!(
+        stdout.contains("crates/sim/src/metrics.rs:6: [transitive-panic]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("engine.rs::report → metrics.rs::summarize"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cli_github_format_emits_error_annotations() {
+    let root = manifest_dir().join("fixtures").join("tree");
+    let out = analyzer_bin()
+        .args(["check", "--format", "github", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(
+        stdout.contains(
+            "::error file=crates/sim/src/congestion/engine.rs,line=14,\
+             title=ftdb-analyzer [unwrap]::"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "::error file=crates/sim/src/metrics.rs,line=6,\
+             title=ftdb-analyzer [transitive-panic]::"
+        ),
+        "{stdout}"
+    );
+    // Annotation values must stay on one line per finding.
+    assert!(
+        stdout
+            .lines()
+            .all(|l| l.is_empty() || l.starts_with("::error ")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cli_json_format_has_the_stable_schema() {
+    let root = manifest_dir().join("fixtures").join("tree");
+    let out = analyzer_bin()
+        .args(["check", "--format", "json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(
+        stdout.contains(r#""file":"crates/sim/src/metrics.rs","line":6,"rule":"transitive-panic""#),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(r#""chain":["engine.rs::report","metrics.rs::summarize"]"#),
+        "{stdout}"
+    );
+    assert!(stdout.contains(r#""justification":null"#), "{stdout}");
+}
+
+#[test]
+fn allows_inventory_lists_every_site_with_justification() {
+    let root = manifest_dir().join("..").join("..");
+    let out = analyzer_bin()
+        .arg("allows")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn analyzer");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    // The burned-down Knuth Algorithm T sites are inventoried with their
+    // rule, use count, and justification.
+    assert!(
+        stdout.contains("crates/core/src/fault.rs:233: allow(transitive-panic) [1 use(s)] -- "),
+        "{stdout}"
+    );
+    assert!(stdout.contains("allow site(s)"), "{stdout}");
+    // Every committed allow earns its keep: the inventory never shows a
+    // zero-use site (those are stale-allow findings and fail `check`).
+    assert!(!stdout.contains("[0 use(s)]"), "{stdout}");
 }
 
 #[test]

@@ -37,18 +37,21 @@ pub(crate) const DELIVERS: u64 = 1 << 63;
 /// Packs a route entry: physical node in the low 32 bits, the CSR slot of
 /// the hop *leaving* this entry in the high 32 (`NO_SLOT` on a terminal
 /// entry). One cache access yields both the node and its outgoing link.
+// analyzer: alloc-free
 #[inline]
 pub(crate) fn pk(node: u32, slot: u32) -> u64 {
     (node as u64) | ((slot as u64) << 32)
 }
 
 /// The physical node of a packed route entry.
+// analyzer: alloc-free
 #[inline]
 pub(crate) fn pk_node(entry: u64) -> usize {
     entry as u32 as usize
 }
 
 /// The CSR slot of the hop leaving a packed route entry.
+// analyzer: alloc-free
 #[inline]
 pub(crate) fn pk_slot(entry: u64) -> u32 {
     ((entry >> 32) as u32) & !(1 << 31)
@@ -56,6 +59,7 @@ pub(crate) fn pk_slot(entry: u64) -> u32 {
 
 /// True for a terminal entry: the packet has no outgoing hop (it was loaded
 /// already sitting on its target).
+// analyzer: alloc-free
 #[inline]
 pub(crate) fn pk_terminal(entry: u64) -> bool {
     pk_slot(entry) == NO_SLOT & !(1 << 31)
@@ -549,6 +553,7 @@ impl CongestionSim {
 
     /// Whether `node` is currently usable (healthy in the static fault set
     /// and not killed by the dynamic schedule).
+    // analyzer: alloc-free
     fn is_alive(&self, node: NodeId) -> bool {
         self.machine.is_healthy(node) && !self.dead[node]
     }
@@ -1342,7 +1347,7 @@ impl CongestionSim {
         }
         self.served_slots.clear();
         let injected = self.inject_due_packets();
-        let faults_fired = self.fire_due_faults();
+        let faults_fired = self.fire_due_faults(); // analyzer: trusted-call -- grows dead_list only when a scheduled fault fires; cold by design
         let stamp = self.cycle;
         let single_port = self.machine.port_model() == PortModel::SinglePort;
         let credit_based = self.flow_depth > 0;
@@ -1385,6 +1390,7 @@ impl CongestionSim {
                             }
                             FaultResponse::RerouteAdaptive => {
                                 let target = self.route_target(id);
+                                // analyzer: trusted-call -- BFS re-route runs only after a dynamic fault; cold by design
                                 if !self.is_alive(target) || !self.reroute_packet(id, target) {
                                     self.resolve_dropped(id, stamp);
                                     continue;

@@ -35,6 +35,7 @@ pub fn rem_init(h: u32, target: u32) -> u32 {
 
 /// True when the shift register has consumed every target bit — the packet
 /// is at its final logical position.
+// analyzer: alloc-free
 #[inline]
 pub fn rem_exhausted(rem: u32) -> bool {
     rem == 1
@@ -43,6 +44,7 @@ pub fn rem_exhausted(rem: u32) -> bool {
 /// One shift-register step: consumes the highest queued target bit and
 /// shifts it into `pos` (mod `mask + 1`). Caller must ensure
 /// `!rem_exhausted(rem)`. Returns `(next_pos, next_rem)`.
+// analyzer: alloc-free
 #[inline]
 pub fn shift_step(pos: u32, rem: u32, mask: u32) -> (u32, u32) {
     debug_assert!(rem > 1, "shift_step on an exhausted register");
@@ -56,6 +58,7 @@ pub fn shift_step(pos: u32, rem: u32, mask: u32) -> (u32, u32) {
 
 /// Physical image of logical node `x` under `place` (an empty slice is the
 /// identity placement — the engine elides the map for healthy machines).
+// analyzer: alloc-free
 #[inline]
 pub fn apply_place(place: &[u32], x: u32) -> u32 {
     if place.is_empty() {
@@ -70,6 +73,7 @@ pub fn apply_place(place: &[u32], x: u32) -> u32 {
 /// materialized loader. Returns `(next_phys, pos_after, rem_after)`, or
 /// `None` when the route exhausts without leaving `cur_phys` — the packet
 /// is already at its physical target.
+// analyzer: alloc-free
 #[inline]
 pub fn next_hop(
     place: &[u32],
@@ -100,6 +104,7 @@ pub fn next_hop(
 /// all-ones with only one bits queued (`rem + 1` is a power of two).
 /// Equivalent to `next_hop(&[], mask, cur, cur, rem).is_none()`
 /// (unit-tested below against the walk, exhaustively).
+// analyzer: alloc-free
 #[inline]
 pub fn exhausts_in_place(cur: u32, mask: u32, rem: u32) -> bool {
     rem == 1 || (cur == 0 && rem & (rem - 1) == 0) || (cur == mask && rem & (rem + 1) == 0)
@@ -109,6 +114,7 @@ pub fn exhausts_in_place(cur: u32, mask: u32, rem: u32) -> bool {
 /// `(phys, pos, rem)` has no further hop. O(1) on the identity placement
 /// via [`exhausts_in_place`]; placements break the `phys == pos` identity
 /// that relies on, so a placed walk peeks with [`next_hop`].
+// analyzer: alloc-free
 #[inline]
 pub fn route_ends_at(place: &[u32], mask: u32, phys: u32, pos: u32, rem: u32) -> bool {
     if place.is_empty() {

@@ -1423,6 +1423,33 @@ mod tests {
         sim.run()
     }
 
+    /// Field-by-field equality over every public `CongestionReport` field,
+    /// naming the diverging field. The destructuring is exhaustive (no
+    /// `..`), so a new report field fails to compile here until it is
+    /// compared — and `ftdb-analyzer`'s `diff-coverage` audit holds this
+    /// file, as the sharded determinism suite, to the same bar as the
+    /// engine-vs-rescan suite.
+    fn assert_report_fields_equal(sharded: &CongestionReport, single: &CongestionReport) {
+        let CongestionReport {
+            cycles,
+            injected,
+            delivered,
+            dropped,
+            total_flits,
+            completed,
+            deadlocked,
+            latency,
+        } = sharded;
+        assert_eq!(*cycles, single.cycles, "cycles diverged");
+        assert_eq!(*injected, single.injected, "injected diverged");
+        assert_eq!(*delivered, single.delivered, "delivered diverged");
+        assert_eq!(*dropped, single.dropped, "dropped diverged");
+        assert_eq!(*total_flits, single.total_flits, "total_flits diverged");
+        assert_eq!(*completed, single.completed, "completed diverged");
+        assert_eq!(*deadlocked, single.deadlocked, "deadlocked diverged");
+        assert_eq!(*latency, single.latency, "latency summary diverged");
+    }
+
     #[test]
     fn matches_single_engine_on_healthy_permutation() {
         let (db, _) = machine_for(5, PortModel::MultiPort);
@@ -1435,6 +1462,7 @@ mod tests {
             assert_eq!(want.delivered, n as u64);
             for shards in 1..=4 {
                 let got = sharded_report(&db, port, config, &pairs, shards, 1);
+                assert_report_fields_equal(&got, &want);
                 assert_eq!(got, want, "shards={shards} port={port:?}");
             }
         }
@@ -1455,6 +1483,7 @@ mod tests {
             let want = single_report(&db, PortModel::SinglePort, config, &pairs);
             for shards in [1usize, 2, 3, 4] {
                 let got = sharded_report(&db, PortModel::SinglePort, config, &pairs, shards, 1);
+                assert_report_fields_equal(&got, &want);
                 assert_eq!(got, want, "depth={depth} shards={shards}");
             }
         }
@@ -1483,7 +1512,9 @@ mod tests {
                 got.load_oblivious(&db, &Embedding::identity(n), &pairs);
                 got.schedule_fault(2, 3);
                 got.schedule_fault(4, 17);
-                assert_eq!(got.run(), want, "response={response:?} shards={shards}");
+                let got = got.run();
+                assert_report_fields_equal(&got, &want);
+                assert_eq!(got, want, "response={response:?} shards={shards}");
             }
         }
     }
@@ -1532,6 +1563,7 @@ mod tests {
         };
         let serial = sharded_report(&db, PortModel::MultiPort, config, &pairs, 4, 1);
         let threaded = sharded_report(&db, PortModel::MultiPort, config, &pairs, 4, 4);
+        assert_report_fields_equal(&threaded, &serial);
         assert_eq!(serial, threaded);
     }
 
@@ -1556,6 +1588,7 @@ mod tests {
             for threads in [1usize, 2] {
                 let got =
                     sharded_report(&db, PortModel::MultiPort, config, &pairs, shards, threads);
+                assert_report_fields_equal(&got, &want);
                 assert_eq!(got, want, "shards={shards} threads={threads}");
             }
         }

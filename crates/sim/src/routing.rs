@@ -242,6 +242,7 @@ fn workload_trust(db: &DeBruijn2, placement: &Embedding, machine: &PhysicalMachi
 /// Checks that both route endpoints name logical nodes. Every kernel calls
 /// this first, so a malformed pair surfaces as a [`SimError`] (and thus a
 /// dropped packet in the workload drivers) instead of a release-mode panic.
+// analyzer: alloc-free
 #[inline]
 fn check_endpoints(db: &DeBruijn2, source: NodeId, target: NodeId) -> Result<(), SimError> {
     let limit = db.node_count();
