@@ -20,7 +20,7 @@ use ftdb_sim::ascend_descend::{allreduce_hypercube, allreduce_shuffle_exchange};
 use ftdb_sim::bus_model::bus_timing_table;
 use ftdb_sim::congestion::{
     run_recovery, CongestionConfig, CongestionSim, FaultResponse, FlowControl, OpenLoopReport,
-    ShardedSim,
+    ShardedSim, Switching,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::metrics::SlowdownRow;
@@ -612,6 +612,83 @@ pub fn sim6_tables(h: usize, seed: u64, shards: usize, threads: usize) -> Vec<Te
     )]
 }
 
+/// The canned SIM7 grid for `experiments -- sim-vc`: virtual-channel and
+/// wormhole flow control on the sharded engine. The grid pairs the depth-1
+/// hot-spot that hard-deadlocks single-channel credit flow (it drains once
+/// `vcs >= 2` — the dateline story of `docs/CONGESTION.md`, visible as
+/// table rows) with a draining permutation batch, under both switching
+/// modes. The CI VC-determinism step runs this for `--vcs 1/2/4`, diffing
+/// each VC count across `--shards 1/2/4`: like every sharded output, the
+/// rendered table must be byte-identical for any partition and thread
+/// count.
+pub fn sim7_vc_tables(
+    h: usize,
+    seed: u64,
+    vcs: u32,
+    shards: usize,
+    threads: usize,
+) -> Vec<TextTable> {
+    let db = DeBruijn2::new(h);
+    let n = db.node_count();
+    let placement = Embedding::identity(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let workloads = [
+        ("hot-spot (root 2)", 1u32, workload::all_to_one(n, 2)),
+        ("permutation", 2, workload::permutation_pairs(n, &mut rng)),
+    ];
+    let mut table = TextTable::new(
+        format!("SIM7: virtual-channel flow control on B(2,{h}), sharded engine, vcs = {vcs}"),
+        &[
+            "workload",
+            "depth",
+            "switching",
+            "cycles",
+            "delivered",
+            "deadlocked",
+            "flits",
+            "flits/VC",
+            "HoL-blocked cycles",
+        ],
+    );
+    for (label, depth, pairs) in &workloads {
+        for (switching, sw_label) in [
+            (Switching::StoreAndForward, "store-and-forward"),
+            (Switching::Wormhole { packet_flits: 4 }, "wormhole x4"),
+        ] {
+            let config = CongestionConfig {
+                flow_control: FlowControl::VirtualChannel {
+                    vcs,
+                    buffer_depth: *depth,
+                    switching,
+                },
+                ..CongestionConfig::default()
+            };
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim = ShardedSim::new(machine, config, shards, threads);
+            sim.load_oblivious(&db, &placement, pairs);
+            let report = sim.run();
+            let vc_split = report
+                .vc_flits
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/");
+            table.push_row(vec![
+                label.to_string(),
+                depth.to_string(),
+                sw_label.to_string(),
+                report.cycles.to_string(),
+                report.delivered.to_string(),
+                if report.deadlocked { "yes" } else { "no" }.to_string(),
+                report.total_flits.to_string(),
+                vc_split,
+                report.vc_hol_blocked_cycles.iter().sum::<u64>().to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +744,24 @@ mod tests {
         assert_eq!(table.row_count(), 2);
         let text = table.render();
         assert!(text.contains("drain cycles"));
+    }
+
+    #[test]
+    fn sim7_vc_table_tells_the_dateline_story_identically_across_shards() {
+        // One VC wedges the depth-1 hot-spot; two drain it. The rendered
+        // table is the CI determinism artifact, so it must also be
+        // byte-identical across shard counts.
+        let single_vc = sim7_vc_tables(5, 0xF7DB, 1, 1, 1);
+        let text = single_vc[0].render();
+        assert!(text.contains("yes"), "vcs = 1 hot-spot rows deadlock");
+        let two_vc = sim7_vc_tables(5, 0xF7DB, 2, 1, 1);
+        assert_eq!(two_vc[0].row_count(), 4);
+        let text = two_vc[0].render();
+        assert!(!text.contains("yes"), "vcs = 2 drains the whole grid");
+        for shards in [2usize, 4] {
+            let other = sim7_vc_tables(5, 0xF7DB, 2, shards, 1);
+            assert_eq!(other[0].render(), text, "shards = {shards}");
+        }
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p ftdb-bench --bin experiments -- [--threads N] [--shards N] [experiment...]
+//! cargo run --release -p ftdb-bench --bin experiments -- [--threads N] [--shards N] [--vcs N] [experiment...]
 //! ```
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
 //! table3 corollaries tolerance sim sim-bus sim-congestion sim-loadsweep
-//! sim-sharded sim-million sim-million-smoke ablation all`
+//! sim-sharded sim-vc sim-million sim-million-smoke ablation all`
 //! (default: `all`; the `sim-million*` scale runs are excluded from `all`).
 //! Output is plain text on stdout; it is the source of the measured numbers
 //! recorded in `EXPERIMENTS.md`.
@@ -16,10 +16,13 @@
 //! `--threads N` sizes the worker pool of the sweep-style experiments
 //! (default: the machine's available parallelism). `--shards N` sizes the
 //! graph partition of the sharded-engine experiments (`sim-sharded`,
-//! `sim-million*`; default 4). Every experiment is seeded and the parallel
-//! drivers merge in deterministic order, so the output is byte-identical
-//! for any `N` — CI diffs `--threads 4` against `--threads 1`, and
-//! `--shards 1/2/4` against each other, to enforce exactly that.
+//! `sim-vc`, `sim-million*`; default 4), and `--vcs N` the virtual-channel
+//! count of `sim-vc` (default 2). Every experiment is seeded and the
+//! parallel drivers merge in deterministic order, so the output is
+//! byte-identical for any `N` — CI diffs `--threads 4` against
+//! `--threads 1`, `--shards 1/2/4` against each other, and the `sim-vc`
+//! grid at each `--vcs 1/2/4` across `--shards 1/2/4`, to enforce exactly
+//! that.
 
 use ftdb_analysis::ablation::{
     offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
@@ -34,7 +37,7 @@ use ftdb_analysis::figures;
 use ftdb_analysis::sim_experiments::{
     render_sim1, render_sim5, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
     sim3_congestion_table, sim4_recovery_table, sim5_tables, sim6_sharded_sweep, sim6_tables,
-    ShardedSweepSpec,
+    sim7_vc_tables, ShardedSweepSpec,
 };
 
 fn print_figure(fig: &figures::Figure) {
@@ -46,7 +49,7 @@ fn print_figure(fig: &figures::Figure) {
     }
 }
 
-fn run(name: &str, threads: usize, shards: usize) -> bool {
+fn run(name: &str, threads: usize, shards: usize, vcs: u32) -> bool {
     match name {
         "fig1" => print_figure(&figures::figure1()),
         "fig2" => print_figure(&figures::figure2()),
@@ -162,6 +165,14 @@ fn run(name: &str, threads: usize, shards: usize) -> bool {
                 println!("{}", table.render());
             }
         }
+        "sim-vc" => {
+            // The CI VC-determinism step runs this for `--vcs 1/2/4`,
+            // diffing each VC count across `--shards 1/2/4`: byte-identical
+            // for any partition, like every other sharded output.
+            for table in sim7_vc_tables(6, 0xF7DB, vcs, shards, threads) {
+                println!("{}", table.render());
+            }
+        }
         "sim-million" => {
             // The headline scale runs: an open-loop sweep on B(2,20)
             // (1,048,576 nodes) and a single-point B(2,24) (16.7M nodes)
@@ -224,9 +235,10 @@ fn run(name: &str, threads: usize, shards: usize) -> bool {
                 "sim-congestion",
                 "sim-loadsweep",
                 "sim-sharded",
+                "sim-vc",
                 "ablation",
             ] {
-                run(e, threads, shards);
+                run(e, threads, shards, vcs);
             }
         }
         other => {
@@ -237,12 +249,13 @@ fn run(name: &str, threads: usize, shards: usize) -> bool {
     true
 }
 
-const USAGE: &str = "usage: experiments [--threads N] [--shards N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|sim-sharded|sim-million|sim-million-smoke|ablation|all]...";
+const USAGE: &str = "usage: experiments [--threads N] [--shards N] [--vcs N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|sim-sharded|sim-vc|sim-million|sim-million-smoke|ablation|all]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut shards = 4usize;
+    let mut vcs = 2u32;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -263,15 +276,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--vcs" => match ftdb_bench::parse_threads_value(it.next()) {
+                Ok(v) => vcs = v as u32,
+                Err(_) => {
+                    eprintln!("experiments: --vcs requires a positive integer");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             _ => names.push(arg.clone()),
         }
     }
     let mut ok = true;
     if names.is_empty() {
-        ok &= run("all", threads, shards);
+        ok &= run("all", threads, shards, vcs);
     } else {
         for a in &names {
-            ok &= run(a, threads, shards);
+            ok &= run(a, threads, shards, vcs);
         }
     }
     if !ok {

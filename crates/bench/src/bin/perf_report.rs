@@ -31,6 +31,7 @@ use ftdb_core::{FaultSet, FtDeBruijn2};
 use ftdb_graph::Embedding;
 use ftdb_sim::congestion::{
     measure_open_loop, CongestionConfig, CongestionSim, EngineKind, FlowControl, RouteSource,
+    Switching,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::routing::{
@@ -487,6 +488,71 @@ fn main() {
                 "cum_delivered_by_window_end": last.cum_delivered_by_window_end,
                 "deadlocked": last.deadlocked,
                 "route_state_bytes": sim.route_state_bytes() as u64,
+            }),
+        ));
+    }
+
+    // ---- Virtual channels / wormhole at near saturation ------------------
+    // The same past-the-knee workload as the nearsat pair, under
+    // `FlowControl::VirtualChannel`: two dateline-ordered VCs per link
+    // (store-and-forward, then 4-flit wormhole trains). This prices the
+    // per-(link, vc) gate layout, the timed credit FIFO and — for the
+    // wormhole row — the multi-cycle claim windows, on the wake-list
+    // engine's home turf; per-VC flit splits ride into the JSON.
+    for &(switching, label) in &[
+        (Switching::StoreAndForward, "vc"),
+        (Switching::Wormhole { packet_flits: 4 }, "wormhole"),
+    ] {
+        let h = 8;
+        let db = DeBruijn2::new(h);
+        let n = db.node_count();
+        let spec = ftdb_sim::workload::OpenLoopSpec {
+            offered_load: 0.30,
+            process: ftdb_sim::workload::InjectionProcess::Bernoulli,
+            warmup_cycles: 100,
+            measure_cycles: 200,
+            drain_cycles: 300,
+            seed: 5,
+        };
+        let injections = ftdb_sim::workload::open_loop_injections(n, &spec);
+        let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+        let mut sim = CongestionSim::new(
+            machine,
+            CongestionConfig {
+                flow_control: FlowControl::VirtualChannel {
+                    vcs: 2,
+                    buffer_depth: 4,
+                    switching,
+                },
+                ..CongestionConfig::default()
+            },
+        );
+        sim.load_oblivious_timed(&db, &Embedding::identity(n), &injections);
+        let mut last = measure_open_loop(&mut sim, &spec);
+        let m = measure(repeats, || {
+            sim.reset();
+            last = measure_open_loop(&mut sim, &spec);
+            black_box(last.window_delivered);
+        });
+        let name = format!("congestion_{label}_nearsat_h{h}");
+        let (ns, rate) = per_item(&m, injections.len() as u64);
+        println!(
+            "{name:<40} {ns:>12.1} ns/packet  {rate:>14.0} packet/s  (collapse: {} of {} delivered by window end, deadlocked {})",
+            last.cum_delivered_by_window_end,
+            last.cum_injected_by_window_end,
+            last.deadlocked,
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "packet",
+                "items_per_run": injections.len() as u64,
+                "repeats": m.repeats,
+                "cum_injected_by_window_end": last.cum_injected_by_window_end,
+                "cum_delivered_by_window_end": last.cum_delivered_by_window_end,
+                "deadlocked": last.deadlocked,
             }),
         ));
     }

@@ -13,9 +13,11 @@
 //!   (plus, for the rare materialized packet, its remaining path) must move
 //!   to the destination shard before the next cycle's examination pass;
 //! * a credit return: a packet vacated (or drained) an input buffer whose
-//!   link slot belongs to another shard. The single-table engine also
-//!   defers credit returns by exactly one cycle (`pending_credit`), so
-//!   shipping them at the barrier changes nothing observable.
+//!   link slot belongs to another shard. The single-table engine already
+//!   defers every credit return by `packet_flits` cycles (its timed credit
+//!   FIFO — at least one full cycle), so shipping a return at the barrier
+//!   and re-enqueuing it at the owner with the same due cycle changes
+//!   nothing observable.
 //!
 //! Batches travel over a vendored-`crossbeam` channel from the scoped
 //! worker threads to the driver, which sorts them by `(dst, src)` before
@@ -40,10 +42,12 @@ pub struct Flit {
     pub pos: u32,
     /// Sentinel-encoded remaining target bits (implicit packets).
     pub rem: u32,
-    /// Global CSR slot of the input buffer the packet occupies (owned by
-    /// the *source* shard; it drains back there when the packet next
-    /// moves), or `u32::MAX` when flow control is infinite.
+    /// Global gate id (`slot * vcs + vc`) of the input buffer the packet
+    /// occupies (owned by the *source* shard; it drains back there when the
+    /// packet next moves), or `u32::MAX` when flow control is infinite.
     pub occupied_slot: u32,
+    /// The packet's current virtual channel (0 outside VC flow control).
+    pub vc: u8,
     /// Remaining packed path for a materialized (re-routed) packet,
     /// starting at the arrival node — empty for implicit packets, which
     /// need no path at all.
@@ -60,8 +64,9 @@ pub struct BoundaryBatch {
     pub dst: u32,
     /// Packets that crossed into `dst` this cycle, in age order.
     pub flits: Vec<Flit>,
-    /// Global CSR slots owned by `dst` whose buffers drained this cycle
-    /// (one entry per returned credit; a slot may repeat).
+    /// Global gate ids (`slot * vcs + vc`) owned by `dst` whose buffers
+    /// drained this cycle (one entry per returned credit; a gate may
+    /// repeat).
     pub credits: Vec<u32>,
 }
 

@@ -121,7 +121,89 @@ pub(crate) struct LinkGate {
     pub(crate) credits: u32,
 }
 
+/// How a packet's flits occupy a link once the head flit wins its claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Switching {
+    /// One flit per packet (the classic store-and-forward unit used by all
+    /// earlier engine revisions): a hop occupies the link for exactly one
+    /// cycle and the freed upstream slot's credit returns one cycle later.
+    #[default]
+    StoreAndForward,
+    /// Wormhole / cut-through: a packet is a train of `packet_flits` flits.
+    /// The head flit arbitrates exactly like a store-and-forward flit; once
+    /// it wins, the body streams behind it, so the link stays busy for
+    /// `packet_flits` cycles and the upstream slot's credit returns only
+    /// after the tail clears (`packet_flits` cycles after the head moved).
+    /// The head may keep advancing while the body streams (cut-through), so
+    /// packet latency is counted at *head* arrival.
+    Wormhole {
+        /// Flits per packet (≥ 1; `1` is exactly store-and-forward).
+        packet_flits: u32,
+    },
+}
+
 /// How link buffers are sized and guarded.
+///
+/// # Examples
+///
+/// The depth-1 hot-spot workload that hard-deadlocks under plain
+/// credit-based buffers drains once a second, dateline-ordered virtual
+/// channel is available on every link:
+///
+/// ```
+/// use ftdb_graph::Embedding;
+/// use ftdb_sim::congestion::{CongestionConfig, CongestionSim, FlowControl, Switching};
+/// use ftdb_sim::machine::{PhysicalMachine, PortModel};
+/// use ftdb_sim::workload;
+/// use ftdb_topology::DeBruijn2;
+///
+/// let db = DeBruijn2::new(5);
+/// let n = db.node_count();
+/// let config = CongestionConfig {
+///     flow_control: FlowControl::VirtualChannel {
+///         vcs: 2,
+///         buffer_depth: 1,
+///         switching: Switching::StoreAndForward,
+///     },
+///     ..CongestionConfig::default()
+/// };
+/// let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+/// let mut sim = CongestionSim::new(machine, config);
+/// sim.load_oblivious(&db, &Embedding::identity(n), &workload::all_to_one(n, 2));
+/// let report = sim.run();
+/// assert!(!report.deadlocked);
+/// assert_eq!(report.delivered, n as u64);
+/// assert_eq!(report.vc_flits.len(), 2); // per-VC flit counters
+/// ```
+///
+/// Under wormhole switching every hop carries `packet_flits` flits, so the
+/// flit totals scale with the packet length while delivery stays intact:
+///
+/// ```
+/// use ftdb_graph::Embedding;
+/// use ftdb_sim::congestion::{CongestionConfig, CongestionSim, FlowControl, Switching};
+/// use ftdb_sim::machine::{PhysicalMachine, PortModel};
+/// use ftdb_sim::workload;
+/// use ftdb_topology::DeBruijn2;
+///
+/// let db = DeBruijn2::new(4);
+/// let n = db.node_count();
+/// let pairs = workload::bit_reversal_pairs(4);
+/// let flow = |switching| FlowControl::VirtualChannel { vcs: 2, buffer_depth: 2, switching };
+/// let mut totals = Vec::new();
+/// for switching in [Switching::StoreAndForward, Switching::Wormhole { packet_flits: 4 }] {
+///     let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+///     let mut sim = CongestionSim::new(
+///         machine,
+///         CongestionConfig { flow_control: flow(switching), ..CongestionConfig::default() },
+///     );
+///     sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+///     let report = sim.run();
+///     assert!(report.completed && !report.deadlocked);
+///     totals.push(report.total_flits);
+/// }
+/// assert_eq!(totals[1], 4 * totals[0]); // 4 flits per packet -> 4x the flits per hop
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlowControl {
     /// Unbounded FIFO queues: a flit advances whenever it wins its output
@@ -135,6 +217,24 @@ pub enum FlowControl {
     CreditBased {
         /// Slots in each directed link's downstream input buffer (≥ 1).
         buffer_depth: u32,
+    },
+    /// `vcs` independent virtual channels per directed link, each with its
+    /// own `buffer_depth`-slot input buffer and credit counter, sharing the
+    /// physical link bandwidth of one flit per cycle. Packets are assigned
+    /// VCs by the dateline rule (start on VC 0, bump on every descent of
+    /// the physical label — see `docs/CONGESTION.md` for the
+    /// deadlock-freedom proof sketch), which breaks the de Bruijn
+    /// shift-cycle credit loops that deadlock [`FlowControl::CreditBased`].
+    /// `VirtualChannel { vcs: 1, buffer_depth, switching: StoreAndForward }`
+    /// behaves byte-identically to `CreditBased { buffer_depth }` apart
+    /// from the extra per-VC report fields.
+    VirtualChannel {
+        /// Virtual channels per directed link (≥ 1).
+        vcs: u32,
+        /// Slots in each (link, vc) input buffer (≥ 1).
+        buffer_depth: u32,
+        /// Store-and-forward single-flit packets or wormhole flit trains.
+        switching: Switching,
     },
 }
 
@@ -233,10 +333,22 @@ pub struct CongestionReport {
     /// Whether every packet resolved before `max_cycles`.
     pub completed: bool,
     /// Whether the run ended in a hard buffer deadlock: live packets remain
-    /// but no flit can ever move again (only possible under
-    /// [`FlowControl::CreditBased`]; store-and-forward credit loops can
-    /// deadlock without virtual channels).
+    /// but no flit can ever move again. Only possible with bounded buffers;
+    /// single-channel credit loops ([`FlowControl::CreditBased`], or
+    /// [`FlowControl::VirtualChannel`] with `vcs = 1`) deadlock on the
+    /// de Bruijn shift cycles, and the dateline VC ordering with `vcs ≥ 2`
+    /// is what breaks them (see `docs/CONGESTION.md`).
     pub deadlocked: bool,
+    /// Flits carried per virtual channel over the whole run (a wormhole hop
+    /// counts `packet_flits`). Empty unless the run used
+    /// [`FlowControl::VirtualChannel`]; length `vcs` otherwise.
+    pub vc_flits: Vec<u64>,
+    /// Head-of-line blocking: total cycles packets spent blocked (failing
+    /// examination, parked or rescanning), summed per the virtual channel
+    /// they were travelling on. Still-blocked packets contribute up to the
+    /// report cycle, so a deadlocked report shows where the cyclic wait
+    /// sits. Empty unless the run used [`FlowControl::VirtualChannel`].
+    pub vc_hol_blocked_cycles: Vec<u64>,
     /// Latency distribution over delivered packets, in cycles since
     /// injection (cycle 0).
     pub latency: LatencySummary,
@@ -377,48 +489,96 @@ pub struct CongestionSim {
     /// The bitmap being built for the next cycle (movers and
     /// per-cycle-resource losers); swapped with `queued_now` each step.
     queued_next: Vec<u64>,
-    /// Per-directed-CSR-slot claim stamp + credit counter.
+    /// Per-(CSR slot, virtual channel) gate, `vcs` entries per slot at
+    /// `gidx = slot * vcs + vc`. The physical link's claim stamp lives only
+    /// in the slot's *first* gate (`links[slot * vcs].claim` — the VCs share
+    /// one flit per cycle of link bandwidth); `credits` is meaningful in
+    /// every gate (each VC owns its own downstream buffer). With `vcs = 1`
+    /// this degenerates to exactly the historical one-gate-per-slot layout.
     links: Vec<LinkGate>,
     /// Per-node output-port claim stamp (consulted under `SinglePort`).
     node_claim: Vec<u32>,
     // --- credit flow control ----------------------------------------------
-    /// Buffer depth per directed link (0 = `FlowControl::Infinite`).
+    /// Buffer depth per (directed link, VC) buffer (0 = `FlowControl::Infinite`).
     flow_depth: u32,
-    /// Credits returned *this* cycle, applied at the start of the next one
-    /// ("credits return one cycle after the slot drains").
-    pending_credit: Vec<u32>,
-    /// Slots with a nonzero `pending_credit` entry (dirty list, so the
-    /// apply pass is O(returned), not O(slots)).
-    pending_slots: Vec<u32>,
-    /// CSR slot of the input buffer each packet currently occupies
-    /// (`NO_SLOT` while the packet waits in its source's injection queue).
+    /// Virtual channels per directed link (1 unless
+    /// [`FlowControl::VirtualChannel`] says otherwise).
+    vcs: u32,
+    /// Flits per packet: every hop holds its link for this many cycles and
+    /// returns the freed upstream credit this many cycles later (1 =
+    /// store-and-forward; [`Switching::Wormhole`] sets it higher).
+    packet_flits: u32,
+    /// Whether per-VC metrics (and the per-packet VC/blocked bookkeeping
+    /// feeding them) are live — true only under
+    /// [`FlowControl::VirtualChannel`].
+    track_vc: bool,
+    /// Timed credit-return FIFO: `(due_cycle, gidx, count)` entries, due
+    /// cycles nondecreasing (a credit returned during cycle `c` is due at
+    /// `c + packet_flits` — "one cycle after the slot drains", where the
+    /// slot drains when the tail flit clears it). `credit_fifo_pos` is the
+    /// applied prefix; the tail is compacted in place, so the cycle loop
+    /// never reallocates once the reserve is warm.
+    credit_fifo: Vec<(u32, u32, u32)>,
+    credit_fifo_pos: usize,
+    /// Per-gidx coalescing cursor into `credit_fifo` (entry index + 1):
+    /// several credits for the same gate due the same cycle merge into one
+    /// entry, so the FIFO's live length is bounded by the gate count per
+    /// due cycle exactly like the historical per-slot pending counters.
+    credit_mark: Vec<u32>,
+    /// Gate index (`slot * vcs + vc`) of the input buffer each packet
+    /// currently occupies (`NO_SLOT` while the packet waits in its source's
+    /// injection queue).
     occupied_slot: Vec<u32>,
-    /// Head of each link slot's blocked queue (packets parked on zero
-    /// credits or on a lost link claim; `NONE_ID` = empty). Every packet
-    /// parked on a slot sits in the *same* upstream node's buffers and
-    /// competes for the *same* port, link claim and credits, so only the
-    /// oldest can ever move — the queue is kept sorted by id (= by age) and
-    /// wake events pop exactly one head instead of stampeding the whole
-    /// queue through the examination list.
+    /// Head of each gate's blocked queue (packets parked on zero credits or
+    /// on a lost link claim; `NONE_ID` = empty), one queue per
+    /// (slot, vc) gate. Every packet parked on a gate sits in the *same*
+    /// upstream node's buffers and competes for the *same* port, link claim
+    /// and credits, so only the oldest can ever move — the queue is kept
+    /// sorted by id (= by age) and wake events pop exactly one head instead
+    /// of stampeding the whole queue through the examination list. "No free
+    /// VC" is therefore just one more parked queue per link slot.
     blocked_head: Vec<u32>,
-    /// Tail of each slot's blocked queue: packets park mostly in age order
+    /// Tail of each gate's blocked queue: packets park mostly in age order
     /// (injection order), so the common insert is an O(1) tail append.
     blocked_tail: Vec<u32>,
     /// Intrusive next-pointers threading the blocked queues through the
     /// packet table.
     blocked_next: Vec<u32>,
-    /// Slots a flit crossed this cycle. Each one's queue head is woken at
-    /// the *start* of the next cycle — after every park of this cycle has
-    /// settled into the sorted queues — so an older packet that re-parks at
-    /// the head after the serving move still gets its turn first.
-    served_slots: Vec<u32>,
-    /// Scratch for the credit-conservation checker (per-slot occupancy).
+    /// Timed serve FIFO: `(due_cycle, slot)` per flit-crossed link, due when
+    /// the link's claim expires (`move cycle + packet_flits`). Each due
+    /// slot's VC queue heads are woken at the *start* of the due cycle —
+    /// after every park of the claiming cycle has settled into the sorted
+    /// queues — so an older packet that re-parks at the head after the
+    /// serving move still gets its turn first. Under wormhole the pending
+    /// tail doubles as the quiescence witness: an unexpired entry means a
+    /// body is still streaming, so the run is not deadlocked yet.
+    served_fifo: Vec<(u32, u32)>,
+    served_fifo_pos: usize,
+    /// Scratch for the credit-conservation checker (per-gate occupancy and
+    /// pending credit).
     occupancy_scratch: Vec<u32>,
+    pending_scratch: Vec<u32>,
     /// Set when `run_to_quiescence` proves no flit can ever move again.
     deadlocked: bool,
+    // --- per-packet VC state ----------------------------------------------
+    /// Current virtual channel per packet (dateline rule: injected on VC 0,
+    /// bumped — capped at `vcs - 1` — after every hop that descends the
+    /// physical label; see [`implicit_route::dateline_crossing`]).
+    vc: Vec<u8>,
+    /// Cycle each packet first failed examination since it last moved
+    /// ([`NEVER`] = not blocked); feeds `vc_hol_blocked_cycles`. Set on the
+    /// first failing examination in *both* engines (a packet always gets
+    /// examined the cycle after injection or a move), so the totals are
+    /// engine-identical even though NaiveScan re-fails every cycle.
+    blocked_since: Vec<u32>,
     // --- metrics ----------------------------------------------------------
     /// Flits carried per directed CSR slot over the whole run.
     link_flits: Vec<u64>,
+    /// Flits carried per virtual channel (empty unless `track_vc`).
+    vc_flits: Vec<u64>,
+    /// Blocked cycles accumulated per virtual channel (empty unless
+    /// `track_vc`); see [`CongestionReport::vc_hol_blocked_cycles`].
+    vc_hol_blocked_cycles: Vec<u64>,
     total_flits: u64,
     delivered: u64,
     dropped: u64,
@@ -442,30 +602,71 @@ impl CongestionSim {
     pub fn new(machine: PhysicalMachine, config: CongestionConfig) -> Self {
         let n = machine.node_count();
         let slots = machine.graph().csr().1.len();
-        let flow_depth = match config.flow_control {
-            FlowControl::Infinite => 0,
+        let (flow_depth, vcs, packet_flits) = match config.flow_control {
+            FlowControl::Infinite => (0, 1, 1),
             FlowControl::CreditBased { buffer_depth } => {
                 assert!(
                     buffer_depth >= 1,
                     "credit flow control needs at least one slot"
                 );
-                buffer_depth
+                (buffer_depth, 1, 1)
+            }
+            FlowControl::VirtualChannel {
+                vcs,
+                buffer_depth,
+                switching,
+            } => {
+                assert!(
+                    vcs >= 1,
+                    "virtual-channel flow control needs at least one VC"
+                );
+                assert!(
+                    buffer_depth >= 1,
+                    "credit flow control needs at least one slot"
+                );
+                let packet_flits = match switching {
+                    Switching::StoreAndForward => 1,
+                    Switching::Wormhole { packet_flits } => {
+                        assert!(packet_flits >= 1, "wormhole packets need at least one flit");
+                        packet_flits
+                    }
+                };
+                (buffer_depth, vcs, packet_flits)
             }
         };
+        let track_vc = matches!(config.flow_control, FlowControl::VirtualChannel { .. });
+        // One gate per (slot, vc); `vcs = 1` is exactly the historical
+        // one-gate-per-slot layout, so the legacy modes pay nothing.
+        let gates = slots * vcs as usize;
         // Credit state is only materialised when bounded; `Infinite` pays
         // nothing for the feature beyond the unused half of each LinkGate.
-        let credit_len = if flow_depth > 0 { slots } else { 0 };
+        let credit_len = if flow_depth > 0 { gates } else { 0 };
         CongestionSim {
             config,
             flow_depth,
-            pending_credit: vec![0; credit_len],
-            pending_slots: Vec::with_capacity(credit_len),
+            vcs,
+            packet_flits,
+            track_vc,
+            // Live (unapplied) credit entries are coalesced per (due, gate)
+            // and due cycles span at most `packet_flits` values, but the
+            // applied prefix is reclaimed by in-place compaction, so one
+            // gate's worth of slack per flit of packet length keeps the
+            // steady state allocation-free.
+            credit_fifo: Vec::with_capacity(credit_len * packet_flits as usize),
+            credit_fifo_pos: 0,
+            credit_mark: vec![0; credit_len],
             occupied_slot: Vec::new(),
-            blocked_head: vec![NONE_ID; slots],
-            blocked_tail: vec![NONE_ID; slots],
+            blocked_head: vec![NONE_ID; gates],
+            blocked_tail: vec![NONE_ID; gates],
             blocked_next: Vec::new(),
-            served_slots: Vec::with_capacity(slots),
+            served_fifo: Vec::with_capacity(slots * packet_flits as usize),
+            served_fifo_pos: 0,
             occupancy_scratch: vec![0; credit_len],
+            pending_scratch: vec![0; credit_len],
+            vc: Vec::new(),
+            blocked_since: Vec::new(),
+            vc_flits: vec![0; if track_vc { vcs as usize } else { 0 }],
+            vc_hol_blocked_cycles: vec![0; if track_vc { vcs as usize } else { 0 }],
             deadlocked: false,
             inject_at: Vec::new(),
             pending_inject: Vec::new(),
@@ -505,7 +706,7 @@ impl CongestionSim {
                     claim: NEVER,
                     credits: flow_depth,
                 };
-                slots
+                gates
             ],
             node_claim: vec![NEVER; n],
             link_flits: vec![0; slots],
@@ -593,6 +794,8 @@ impl CongestionSim {
         self.occupied_slot.push(NO_SLOT);
         self.blocked_next.push(NONE_ID);
         self.in_network.push(false);
+        self.vc.push(0);
+        self.blocked_since.push(NEVER);
         self.grow_queue_for(id);
         if zero_hop && inject_cycle == 0 {
             // Already at the target when injected at load: delivered at
@@ -694,6 +897,8 @@ impl CongestionSim {
         self.occupied_slot.push(NO_SLOT);
         self.blocked_next.push(NONE_ID);
         self.in_network.push(false);
+        self.vc.push(0);
+        self.blocked_since.push(NEVER);
         self.delivered_at.push(NEVER);
         self.dropped_at.push(inject_cycle);
         self.resolved_at_load.push(inject_cycle);
@@ -872,6 +1077,7 @@ impl CongestionSim {
             &mut self.inject_at,
             &mut self.occupied_slot,
             &mut self.blocked_next,
+            &mut self.blocked_since,
             &mut self.delivered_at,
             &mut self.dropped_at,
             &mut self.resolved_at_load,
@@ -882,6 +1088,7 @@ impl CongestionSim {
         }
         self.entry.reserve(packets);
         self.in_network.reserve(packets);
+        self.vc.reserve(packets);
         // The work-queue bitmaps cover every loaded packet (one bit each),
         // so sizing them here keeps the cycle loop allocation-free.
         let words = (self.inject_at.len() + packets).div_ceil(64);
@@ -916,16 +1123,28 @@ impl CongestionSim {
         faults
     }
 
-    /// Schedules a credit return for `slot`: the freed buffer slot becomes
-    /// usable one cycle later, when [`CongestionSim::step`] applies the
-    /// pending set.
+    /// Schedules a credit return for gate `gidx`: the freed buffer slot
+    /// becomes usable `packet_flits` cycles later — the slot drains when the
+    /// tail flit clears it (immediately for store-and-forward), and the
+    /// credit travels upstream one cycle after that. Entries for the same
+    /// gate due the same cycle coalesce through `credit_mark`, so the FIFO's
+    /// live length is bounded exactly like the historical per-slot counters.
     // analyzer: alloc-free
-    fn return_credit(&mut self, slot: u32) {
-        let s = slot as usize;
-        if self.pending_credit[s] == 0 {
-            self.pending_slots.push(slot); // analyzer: allow(alloc) -- capacity reserved at load; the counting-allocator test proves the cycle loop never reallocates
+    fn return_credit(&mut self, gidx: u32) {
+        let due = self.cycle + self.packet_flits;
+        let m = self.credit_mark[gidx as usize] as usize;
+        if m > 0 && m <= self.credit_fifo.len() {
+            let entry = &mut self.credit_fifo[m - 1];
+            // A stale mark can only coalesce if both the due cycle and the
+            // gate match — applied entries are always due in the past, so
+            // they can never capture a fresh return.
+            if entry.0 == due && entry.1 == gidx {
+                entry.2 += 1;
+                return;
+            }
         }
-        self.pending_credit[s] += 1;
+        self.credit_mark[gidx as usize] = self.credit_fifo.len() as u32 + 1;
+        self.credit_fifo.push((due, gidx, 1)); // analyzer: allow(alloc) -- capacity reserved at load; the counting-allocator test proves the cycle loop never reallocates
     }
 
     /// Releases the buffer slot a resolving (delivered or dropped) packet
@@ -945,10 +1164,40 @@ impl CongestionSim {
         }
     }
 
+    /// Records that blocked packet `id` became unblocked (moved or
+    /// resolved) at `cycle`, folding the blocked span into the per-VC
+    /// head-of-line counter. No-op unless VC metrics are live and the
+    /// packet was actually marked blocked; both engines mark and clear at
+    /// identical cycles, so the totals are engine-identical.
+    #[inline]
+    // analyzer: alloc-free
+    fn note_unblocked(&mut self, id: usize, cycle: u32) {
+        if self.track_vc {
+            let since = self.blocked_since[id];
+            if since != NEVER {
+                self.vc_hol_blocked_cycles[self.vc[id] as usize] += (cycle - since) as u64;
+                self.blocked_since[id] = NEVER;
+            }
+        }
+    }
+
+    /// Records that packet `id` failed examination at `cycle` (any gating
+    /// resource); only the *first* failure since the last move sticks.
+    #[inline]
+    // analyzer: alloc-free
+    fn note_blocked(&mut self, id: usize, cycle: u32) {
+        if self.track_vc && self.blocked_since[id] == NEVER {
+            self.blocked_since[id] = cycle;
+        }
+    }
+
     /// Marks packet `id` delivered at `cycle`: stamps the outcome, records
-    /// the latency, and frees its buffer slot.
+    /// the latency, and frees its buffer slot. Under wormhole switching the
+    /// stamp is *head* arrival (cut-through consumption); the tail streams
+    /// in behind it while the freed credits make their timed way back.
     // analyzer: alloc-free
     fn resolve_delivered(&mut self, id: usize, cycle: u32) {
+        self.note_unblocked(id, cycle);
         self.delivered_at[id] = cycle;
         self.delivered += 1;
         self.latencies.push(cycle - self.inject_at[id]); // analyzer: allow(alloc) -- capacity reserved at load; the counting-allocator test proves the cycle loop never reallocates
@@ -961,6 +1210,7 @@ impl CongestionSim {
     /// Marks in-flight packet `id` dropped at `cycle` and frees its slot.
     // analyzer: alloc-free
     fn resolve_dropped(&mut self, id: usize, cycle: u32) {
+        self.note_unblocked(id, cycle);
         self.dropped_at[id] = cycle;
         self.dropped += 1;
         self.in_network[id] = false;
@@ -1060,24 +1310,89 @@ impl CongestionSim {
         }
     }
 
-    /// Applies the credits returned last cycle and wakes the packets parked
-    /// on the replenished slots; returns how many credits were applied.
+    /// Applies the credit returns that have come due by the current cycle
+    /// and wakes the packets parked on the replenished gates; returns how
+    /// many credits were applied. The applied prefix is reclaimed in place
+    /// (full clear when drained, front compaction when the tail lags), so
+    /// the FIFO never grows past its load-time reserve in steady state.
     // analyzer: alloc-free
     fn apply_pending_credits(&mut self) -> u64 {
         let mut applied = 0;
-        for i in 0..self.pending_slots.len() {
-            let slot = self.pending_slots[i] as usize;
-            applied += self.pending_credit[slot] as u64;
-            self.links[slot].credits += self.pending_credit[slot];
-            self.pending_credit[slot] = 0;
+        while self.credit_fifo_pos < self.credit_fifo.len() {
+            let (due, gidx, count) = self.credit_fifo[self.credit_fifo_pos];
+            if due > self.cycle {
+                break;
+            }
+            self.credit_fifo_pos += 1;
+            applied += count as u64;
+            self.links[gidx as usize].credits += count;
             debug_assert!(
-                self.links[slot].credits <= self.flow_depth,
+                self.links[gidx as usize].credits <= self.flow_depth,
                 "credit overflow"
             );
-            self.wake_head(slot);
+            self.wake_head(gidx as usize);
         }
-        self.pending_slots.clear();
+        if self.credit_fifo_pos >= self.credit_fifo.len() {
+            self.credit_fifo.clear();
+            self.credit_fifo_pos = 0;
+        } else if self.credit_fifo_pos >= 64 && self.credit_fifo_pos * 2 >= self.credit_fifo.len() {
+            // Stale coalescing marks survive compaction harmlessly: a mark
+            // only fires when both the due cycle and the gate match, and
+            // matching entries are correct coalescing targets wherever the
+            // compaction moved them.
+            self.credit_fifo.drain(..self.credit_fifo_pos);
+            self.credit_fifo_pos = 0;
+        }
         applied
+    }
+
+    /// Whether timed credit returns are still in flight (parked packets may
+    /// yet be woken by them); quiescence must wait for the FIFO to drain.
+    #[inline]
+    // analyzer: alloc-free
+    fn credits_pending(&self) -> bool {
+        self.credit_fifo_pos < self.credit_fifo.len()
+    }
+
+    /// Wakes the served-slot queues that have come due: when a link's claim
+    /// expires (`packet_flits` cycles after the winning move), the head of
+    /// *every* VC queue on that slot that could now admit a flit gets one
+    /// examination. Extra wakes are harmless — examination is a pure
+    /// function of engine state, and an immovable woken packet re-parks
+    /// identically in both engines.
+    // analyzer: alloc-free
+    fn apply_due_serves(&mut self) {
+        let vcs = self.vcs as usize;
+        while self.served_fifo_pos < self.served_fifo.len() {
+            let (due, slot) = self.served_fifo[self.served_fifo_pos];
+            if due > self.cycle {
+                break;
+            }
+            self.served_fifo_pos += 1;
+            let base = slot as usize * vcs;
+            for gidx in base..base + vcs {
+                if self.blocked_head[gidx] != NONE_ID
+                    && (self.flow_depth == 0 || self.links[gidx].credits > 0)
+                {
+                    self.wake_head(gidx);
+                }
+            }
+        }
+        if self.served_fifo_pos >= self.served_fifo.len() {
+            self.served_fifo.clear();
+            self.served_fifo_pos = 0;
+        } else if self.served_fifo_pos >= 64 && self.served_fifo_pos * 2 >= self.served_fifo.len() {
+            self.served_fifo.drain(..self.served_fifo_pos);
+            self.served_fifo_pos = 0;
+        }
+    }
+
+    /// Whether any link claim is still unexpired (a wormhole body is
+    /// streaming); quiescence must wait these out too.
+    #[inline]
+    // analyzer: alloc-free
+    fn serves_pending(&self) -> bool {
+        self.served_fifo_pos < self.served_fifo.len()
     }
 
     /// Moves packets whose injection cycle has arrived from the pending
@@ -1113,12 +1428,13 @@ impl CongestionSim {
         injected
     }
 
-    /// Checks the credit-conservation invariant: for every directed link,
-    /// `free credits + pending returns + live occupants == buffer_depth`.
-    /// Returns the first violation as a human-readable message. Always `Ok`
-    /// under [`FlowControl::Infinite`]. Allocation-free (the per-slot
-    /// occupancy count reuses a scratch array sized at construction, hence
-    /// `&mut self`), so tests may call it every cycle.
+    /// Checks the credit-conservation invariant: for every (directed link,
+    /// virtual channel) gate, `free credits + in-flight timed returns +
+    /// live occupants == buffer_depth`. Returns the first violation as a
+    /// human-readable message. Always `Ok` under [`FlowControl::Infinite`].
+    /// Allocation-free (the per-gate occupancy and pending counts reuse
+    /// scratch arrays sized at construction, hence `&mut self`), so tests
+    /// may call it every cycle.
     pub fn check_credit_conservation(&mut self) -> Result<(), String> {
         if self.flow_depth == 0 {
             return Ok(());
@@ -1126,24 +1442,32 @@ impl CongestionSim {
         for c in &mut self.occupancy_scratch {
             *c = 0;
         }
+        for c in &mut self.pending_scratch {
+            *c = 0;
+        }
         for id in 0..self.in_network.len() {
             if !self.in_network[id] {
                 continue;
             }
-            let slot = self.occupied_slot[id];
-            if slot != NO_SLOT {
-                self.occupancy_scratch[slot as usize] += 1;
+            let gidx = self.occupied_slot[id];
+            if gidx != NO_SLOT {
+                self.occupancy_scratch[gidx as usize] += 1;
             }
         }
-        for slot in 0..self.pending_credit.len() {
-            let total =
-                self.links[slot].credits + self.pending_credit[slot] + self.occupancy_scratch[slot];
+        for i in self.credit_fifo_pos..self.credit_fifo.len() {
+            let (_, gidx, count) = self.credit_fifo[i];
+            self.pending_scratch[gidx as usize] += count;
+        }
+        for gidx in 0..self.occupancy_scratch.len() {
+            let total = self.links[gidx].credits
+                + self.pending_scratch[gidx]
+                + self.occupancy_scratch[gidx];
             if total != self.flow_depth {
                 return Err(format!(
-                    "slot {slot}: credits {} + pending {} + occupants {} != depth {}",
-                    self.links[slot].credits,
-                    self.pending_credit[slot],
-                    self.occupancy_scratch[slot],
+                    "slot {gidx}: credits {} + pending {} + occupants {} != depth {}",
+                    self.links[gidx].credits,
+                    self.pending_scratch[gidx],
+                    self.occupancy_scratch[gidx],
                     self.flow_depth
                 ));
             }
@@ -1334,24 +1658,20 @@ impl CongestionSim {
     // analyzer: alloc-free
     pub fn step(&mut self) -> CycleEvents {
         let credits_applied = self.apply_pending_credits();
-        // Claims taken last cycle expire now: wake each served slot's
-        // queue head (under credit flow only if the slot can actually
-        // admit a flit — otherwise the credit return will wake it).
-        for i in 0..self.served_slots.len() {
-            let slot = self.served_slots[i] as usize;
-            if self.blocked_head[slot] != NONE_ID
-                && (self.flow_depth == 0 || self.links[slot].credits > 0)
-            {
-                self.wake_head(slot);
-            }
-        }
-        self.served_slots.clear();
+        // Link claims taken `packet_flits` cycles ago expire now: wake each
+        // due served slot's VC queue heads (under credit flow only where the
+        // gate can actually admit a flit — otherwise the credit return will
+        // wake it).
+        self.apply_due_serves();
         let injected = self.inject_due_packets();
         let faults_fired = self.fire_due_faults(); // analyzer: trusted-call -- grows dead_list only when a scheduled fault fires; cold by design
         let stamp = self.cycle;
         let single_port = self.machine.port_model() == PortModel::SinglePort;
         let credit_based = self.flow_depth > 0;
         let park = self.config.engine == EngineKind::WakeList;
+        let vcs = self.vcs as usize;
+        let pf = self.packet_flits;
+        let track_vc = self.track_vc;
         // Loaded paths never cross statically-faulty processors, so the
         // dead-next-hop check only matters once a dynamic fault has fired.
         let hazard = !self.dead_list.is_empty();
@@ -1411,61 +1731,95 @@ impl CongestionSim {
                     }
                 }
                 let here = pk_node(entry);
-                let port_free = !single_port || self.node_claim[here] != stamp;
-                let gate = self.links[slot];
-                let credit_free = !credit_based || gate.credits > 0;
-                if port_free && credit_free && gate.claim != stamp {
-                    // Claim and move.
-                    self.links[slot].claim = stamp;
+                let vc = self.vc[id] as usize;
+                let gidx = slot * vcs + vc;
+                // The physical link (and, under `SinglePort`, the output
+                // port) is free when its last claim has fully streamed —
+                // `packet_flits` cycles. Claims never exceed the current
+                // stamp, so for single-flit packets this is exactly the
+                // historical `claim != stamp`.
+                let link_claim = self.links[slot * vcs].claim;
+                let link_free = link_claim == NEVER || stamp - link_claim >= pf;
+                let port_claim = self.node_claim[here];
+                let port_free = !single_port || port_claim == NEVER || stamp - port_claim >= pf;
+                let credit_free = !credit_based || self.links[gidx].credits > 0;
+                if port_free && credit_free && link_free {
+                    // Claim and move (the head flit; under wormhole the body
+                    // streams behind it, keeping the link busy for
+                    // `packet_flits` cycles).
+                    self.links[slot * vcs].claim = stamp;
                     if single_port {
                         self.node_claim[here] = stamp;
                     }
                     if credit_based {
-                        // Take a slot downstream; the slot vacated upstream
-                        // returns to its link one cycle from now.
-                        self.links[slot].credits -= 1;
+                        // Take a slot downstream on this packet's VC; the
+                        // slot vacated upstream returns to its gate once the
+                        // tail flit clears it.
+                        self.links[gidx].credits -= 1;
                         let prev = self.occupied_slot[id];
                         if prev != NO_SLOT {
                             self.return_credit(prev);
                         }
-                        self.occupied_slot[id] = slot as u32;
+                        self.occupied_slot[id] = gidx as u32;
                     }
-                    if park {
-                        // Whoever queues behind this move wakes when the claim
-                        // expires, at the start of the next cycle.
-                        self.served_slots.push(slot as u32); // analyzer: allow(alloc) -- capacity reserved at load; the counting-allocator test proves the cycle loop never reallocates
+                    if park || pf > 1 {
+                        // Whoever queues behind this move wakes when the
+                        // claim expires. Under wormhole the pending entry is
+                        // also the quiescence witness for the streaming body,
+                        // which the naive rescan's deadlock proof needs too.
+                        self.served_fifo.push((stamp + pf, slot as u32)); // analyzer: allow(alloc) -- capacity reserved at load; the counting-allocator test proves the cycle loop never reallocates
                     }
-                    self.link_flits[slot] += 1;
-                    self.total_flits += 1;
+                    self.link_flits[slot] += pf as u64;
+                    self.total_flits += pf as u64;
                     moved += 1;
+                    if track_vc {
+                        self.vc_flits[vc] += pf as u64;
+                        self.note_unblocked(id, stamp);
+                    }
                     if entry & DELIVERS != 0 {
                         // Consumed at the target: the just-taken slot drains
-                        // too (its credit also returns next cycle).
+                        // too (its credit also returns after the tail).
                         self.resolve_delivered(id, stamp);
                     } else {
+                        if track_vc {
+                            // Dateline rule: a hop that descends the physical
+                            // label closes a de Bruijn shift cycle, so the
+                            // packet moves up one VC (capped at the top).
+                            let next = self.machine.graph().csr().1[slot] as usize;
+                            if vc + 1 < vcs
+                                && implicit_route::dateline_crossing(here as u32, next as u32)
+                            {
+                                self.vc[id] = (vc + 1) as u8;
+                            }
+                        }
                         self.advance_route(id, slot);
                         self.queued_next[wi] |= 1u64 << (id & 63);
                     }
                 } else if park
-                    && (!credit_free || (gate.claim == stamp && self.blocked_head[slot] != NONE_ID))
+                    && (!credit_free || (link_claim == stamp && self.blocked_head[gidx] != NONE_ID))
                 {
-                    // Blocked on the slot itself: zero credits (which only
-                    // return at a cycle boundary), or a link claim lost while
-                    // the slot already has a queue. Everyone queued on a slot
-                    // sits in the same upstream node and shares the same port,
-                    // link claim and credit counter, so parking is exact: the
-                    // sorted queue's head is woken by the credit return or the
-                    // served-slot claim expiry, and nothing behind the head
-                    // could have moved anyway. A claim loser finding an empty
-                    // queue just retries — a one-cycle wait is cheaper as a
-                    // rescan than as a park/wake round trip, and long waits
-                    // seed queues through the credit counter first.
-                    self.park_on_slot(id, slot);
+                    // Blocked on the gate itself: zero credits on this VC's
+                    // buffer (which only return at a cycle boundary), or a
+                    // link claim lost while the gate already has a queue.
+                    // Everyone queued on a gate sits in the same upstream
+                    // node and shares the same port, link claim and credit
+                    // counter, so parking is exact: the sorted queue's head
+                    // is woken by the credit return or the served-slot claim
+                    // expiry, and nothing behind the head could have moved
+                    // anyway. A claim loser finding an empty queue just
+                    // retries — a one-cycle wait is cheaper as a rescan than
+                    // as a park/wake round trip, and long waits seed queues
+                    // through the credit counter first.
+                    self.note_blocked(id, stamp);
+                    self.park_on_slot(id, gidx);
                 } else {
                     // Blocked on the node's output port alone (`SinglePort`,
-                    // port taken by a packet leaving over a different link) —
-                    // or running the naive rescan: re-examine next cycle, when
-                    // the per-cycle claims expire.
+                    // port taken by a packet leaving over a different link),
+                    // on a still-streaming wormhole body, or running the
+                    // naive rescan: re-examine next cycle, when per-cycle
+                    // claims expire (a streaming link re-fails cheaply until
+                    // its serve event lands).
+                    self.note_blocked(id, stamp);
                     self.queued_next[wi] |= 1u64 << (id & 63);
                 }
             }
@@ -1485,10 +1839,11 @@ impl CongestionSim {
 
     /// Steps until cycle `horizon` (capped by `max_cycles`), the workload
     /// drains, or the network hard-deadlocks. A hard deadlock — only
-    /// possible under credit flow control — is proven, not guessed: a cycle
-    /// in which nothing moved, no credit is pending, and no injection or
-    /// fault remains scheduled can never be followed by a different one.
-    /// The per-cycle loop performs no allocation.
+    /// possible under bounded-buffer flow control — is proven, not guessed:
+    /// a cycle in which nothing moved, no timed credit return or claim
+    /// expiry is in flight, and no injection or fault remains scheduled can
+    /// never be followed by a different one. The per-cycle loop performs no
+    /// allocation.
     // analyzer: alloc-free
     pub fn run_until(&mut self, horizon: u32) {
         let horizon = horizon.min(self.config.max_cycles);
@@ -1500,7 +1855,8 @@ impl CongestionSim {
                 && events.injected == 0
                 && events.faults_fired == 0
                 && self.in_flight > 0
-                && self.pending_slots.is_empty()
+                && !self.credits_pending()
+                && !self.serves_pending()
                 && self.inject_pos >= self.pending_inject.len()
                 && self.schedule_pos >= self.schedule.len()
             {
@@ -1564,6 +1920,18 @@ impl CongestionSim {
     /// rebuilding and re-sorting the full vector per call.
     pub fn report(&mut self) -> CongestionReport {
         self.ensure_latencies_sorted();
+        // Fold still-blocked spans (up to the report cycle) into a copy of
+        // the per-VC head-of-line counters without disturbing the live
+        // accumulators — a deadlocked report shows where the wait sits, and
+        // a later report stays consistent with continued stepping.
+        let mut vc_hol = self.vc_hol_blocked_cycles.clone();
+        if self.track_vc {
+            for id in 0..self.in_network.len() {
+                if self.in_network[id] && self.blocked_since[id] != NEVER {
+                    vc_hol[self.vc[id] as usize] += (self.cycle - self.blocked_since[id]) as u64;
+                }
+            }
+        }
         CongestionReport {
             cycles: self.cycle,
             injected: self.inject_at.len() as u64,
@@ -1572,6 +1940,8 @@ impl CongestionSim {
             total_flits: self.total_flits,
             completed: self.in_flight == 0 && self.inject_pos >= self.pending_inject.len(),
             deadlocked: self.deadlocked,
+            vc_flits: self.vc_flits.clone(),
+            vc_hol_blocked_cycles: vc_hol,
             latency: LatencySummary::from_sorted(&self.latencies),
         }
     }
@@ -1637,17 +2007,31 @@ impl CongestionSim {
             gate.claim = NEVER;
             gate.credits = depth;
         }
-        for p in &mut self.pending_credit {
-            *p = 0;
+        self.credit_fifo.clear();
+        self.credit_fifo_pos = 0;
+        for m in &mut self.credit_mark {
+            *m = 0;
         }
-        self.pending_slots.clear();
         for h in &mut self.blocked_head {
             *h = NONE_ID;
         }
         for t in &mut self.blocked_tail {
             *t = NONE_ID;
         }
-        self.served_slots.clear();
+        self.served_fifo.clear();
+        self.served_fifo_pos = 0;
+        for v in &mut self.vc {
+            *v = 0;
+        }
+        for b in &mut self.blocked_since {
+            *b = NEVER;
+        }
+        for f in &mut self.vc_flits {
+            *f = 0;
+        }
+        for c in &mut self.vc_hol_blocked_cycles {
+            *c = 0;
+        }
         for &d in &self.dead_list {
             self.dead[d as usize] = false;
         }
@@ -1749,6 +2133,7 @@ impl CongestionSim {
             &mut self.inject_at,
             &mut self.occupied_slot,
             &mut self.blocked_next,
+            &mut self.blocked_since,
             &mut self.delivered_at,
             &mut self.dropped_at,
             &mut self.resolved_at_load,
@@ -1757,6 +2142,7 @@ impl CongestionSim {
             v.clear();
         }
         self.in_network.clear();
+        self.vc.clear();
         self.queued_now.clear();
         self.queued_next.clear();
         self.schedule.clear();
@@ -2524,6 +2910,133 @@ mod tests {
         assert!(report.completed, "depth 2 drains the same workload");
         assert!(!report.deadlocked);
         assert_eq!(report.delivered, n as u64);
+    }
+
+    fn vc_config(vcs: u32, buffer_depth: u32, switching: Switching) -> CongestionConfig {
+        CongestionConfig {
+            flow_control: FlowControl::VirtualChannel {
+                vcs,
+                buffer_depth,
+                switching,
+            },
+            ..CongestionConfig::default()
+        }
+    }
+
+    #[test]
+    fn dateline_virtual_channels_drain_the_depth_one_hotspot() {
+        // The ROADMAP acceptance test: the workload above wedges depth-1
+        // single-channel buffers; two dateline-ordered VCs per link break
+        // every shift-cycle credit loop it wraps, so the same buffers (one
+        // slot per (link, vc)) drain it completely. One VC is just credit
+        // flow with extra bookkeeping and must still deadlock — keeping the
+        // detector honest.
+        let db = DeBruijn2::new(5);
+        let n = db.node_count();
+        let pairs = workload::all_to_one(n, 2);
+        for (vcs, wants_deadlock) in [(1u32, true), (2, false), (4, false)] {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim =
+                CongestionSim::new(machine, vc_config(vcs, 1, Switching::StoreAndForward));
+            sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+            let report = sim.run();
+            assert_eq!(report.deadlocked, wants_deadlock, "vcs={vcs}");
+            sim.check_credit_conservation()
+                .expect("conservation with VC gates");
+            assert_eq!(report.vc_flits.len(), vcs as usize);
+            assert_eq!(report.vc_hol_blocked_cycles.len(), vcs as usize);
+            assert_eq!(
+                report.vc_flits.iter().sum::<u64>(),
+                report.total_flits,
+                "every flit crossed on exactly one VC"
+            );
+            if wants_deadlock {
+                assert!(!report.completed);
+                assert!(report.cycles < 100, "deadlock detected promptly");
+            } else {
+                assert!(report.completed, "vcs={vcs} must drain");
+                assert_eq!(report.delivered, n as u64);
+                assert!(
+                    report.vc_flits.iter().all(|&f| f > 0),
+                    "hot-spot traffic wraps the dateline, so every VC carries \
+                     flits (got {:?})",
+                    report.vc_flits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_vc_store_and_forward_is_credit_flow() {
+        // `VirtualChannel {{ vcs: 1, .. }}` must reproduce `CreditBased`
+        // cycle-for-cycle — the VC machinery degenerates to the historical
+        // one-gate-per-slot layout (only the per-VC report vectors differ:
+        // length 1 instead of empty).
+        let db = DeBruijn2::new(4);
+        let n = db.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let pairs = workload::uniform_pairs(n, 3 * n, &mut rng);
+        for depth in [1u32, 2, 4] {
+            let mut reports = Vec::new();
+            for config in [
+                credit_config(depth),
+                vc_config(1, depth, Switching::StoreAndForward),
+            ] {
+                let machine = PhysicalMachine::new(db.graph().clone(), PortModel::SinglePort);
+                let mut sim = CongestionSim::new(machine, config);
+                sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+                reports.push(sim.run());
+            }
+            let (legacy, vc) = (&reports[0], &reports[1]);
+            assert_eq!(legacy.cycles, vc.cycles, "depth={depth}");
+            assert_eq!(legacy.delivered, vc.delivered);
+            assert_eq!(legacy.total_flits, vc.total_flits);
+            assert_eq!(legacy.deadlocked, vc.deadlocked);
+            assert_eq!(legacy.latency, vc.latency);
+            assert_eq!(legacy.vc_flits.len(), 0);
+            assert_eq!(vc.vc_flits.len(), 1);
+            assert_eq!(vc.vc_flits[0], vc.total_flits);
+        }
+    }
+
+    #[test]
+    fn wormhole_trains_multiply_flits_and_stretch_time() {
+        // A `packet_flits`-flit train holds each link for `packet_flits`
+        // cycles and moves `packet_flits` flits per hop: deliveries are
+        // unchanged, the flit total scales exactly, and the run cannot be
+        // faster than single-flit switching on the same buffers.
+        let db = DeBruijn2::new(4);
+        let n = db.node_count();
+        let pairs = workload::bit_reversal_pairs(db.h());
+        let pf = 4u32;
+        let mut reports = Vec::new();
+        for switching in [
+            Switching::StoreAndForward,
+            Switching::Wormhole { packet_flits: pf },
+        ] {
+            let machine = PhysicalMachine::new(db.graph().clone(), PortModel::MultiPort);
+            let mut sim = CongestionSim::new(machine, vc_config(2, 2, switching));
+            sim.load_oblivious(&db, &Embedding::identity(n), &pairs);
+            let report = sim.run();
+            assert!(report.completed, "{switching:?} must drain");
+            sim.check_credit_conservation()
+                .expect("conservation under wormhole timing");
+            reports.push(report);
+        }
+        let (saf, worm) = (&reports[0], &reports[1]);
+        assert_eq!(saf.delivered, worm.delivered);
+        assert_eq!(worm.total_flits, saf.total_flits * pf as u64);
+        assert_eq!(
+            worm.vc_flits.iter().sum::<u64>(),
+            worm.total_flits,
+            "per-VC flit split covers the trains"
+        );
+        assert!(
+            worm.cycles > saf.cycles,
+            "streaming bodies must hold links longer ({} vs {})",
+            worm.cycles,
+            saf.cycles
+        );
     }
 
     #[test]

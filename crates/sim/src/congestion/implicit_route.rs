@@ -138,6 +138,28 @@ pub fn hops_left(place: &[u32], mask: u32, cur_phys: u32, pos: u32, rem: u32) ->
     hops
 }
 
+/// Dateline test for the virtual-channel ordering: hop `cur -> next`
+/// crosses a dateline iff it *descends* the physical label. Rank every
+/// (link, vc) channel by the pair `(vc, source label)` ordered
+/// lexicographically; an ascending hop keeps its VC and strictly grows the
+/// label, and a descending hop moves to VC `vc + 1` (capped), so along any
+/// loop-free route the channel rank strictly increases while VCs remain —
+/// no cyclic channel dependency can close, which is the classic dateline
+/// freedom-from-deadlock argument. On the identity-placed `B(2,h)` this is
+/// O(1) from the shift state alone: the next label is
+/// `(2·cur + b) mod 2^h`, which is smaller than `cur` iff `cur`'s top bit
+/// is set (the wrap of a de Bruijn shift cycle; equality happens only at
+/// the two shift-invariant self-loops, which the generators skip). The cap
+/// at `vcs - 1` means full formal freedom needs more VCs than a route has
+/// descents; with fewer, datelines still break the single-loop waits that
+/// deadlock depth-1 buffers, and the engine's quiescence detector remains
+/// the honest backstop (see `docs/CONGESTION.md`).
+// analyzer: alloc-free
+#[inline]
+pub fn dateline_crossing(cur: u32, next: u32) -> bool {
+    next < cur
+}
+
 /// One step of the shuffle-exchange route automaton of
 /// `ShuffleExchange::route`: round `j` (1-based) optionally exchanges the
 /// low bit to match target bit `(h - j + 1) % h`, then shuffles (rotates
@@ -247,6 +269,31 @@ mod tests {
                             "h={h} cur={cur} rem={rem:#b}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_crossing_is_the_top_bit_on_identity_shift_steps() {
+        // On B(2,h) the only label descents a shift step can produce are the
+        // wraps of the shift cycles: next = (2·cur + b) mod 2^h < cur iff
+        // cur's top bit is set (self-loops excluded — the generators skip
+        // them). Check every (cur, b) exhaustively at several radices.
+        for h in 1..=8u32 {
+            let mask = (1u32 << h) - 1;
+            for cur in 0..=mask {
+                for b in 0..2u32 {
+                    let next = ((cur << 1) | b) & mask;
+                    if next == cur {
+                        continue; // shift-invariant self-loop, never a hop
+                    }
+                    let top_bit_set = cur >> (h - 1) == 1;
+                    assert_eq!(
+                        dateline_crossing(cur, next),
+                        top_bit_set,
+                        "h={h} cur={cur:#b} next={next:#b}"
+                    );
                 }
             }
         }

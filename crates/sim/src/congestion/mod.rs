@@ -20,10 +20,17 @@
 //!   only when the downstream buffer has a free slot, and the credit
 //!   returns one cycle after the slot drains. Bounded buffers are what let
 //!   the engine reproduce saturation *collapse* (tree saturation,
-//!   head-of-line blocking, and — with no virtual channels yet — genuine
-//!   buffer deadlock, reported via [`CongestionReport::deadlocked`]), not
-//!   just saturation throughput. (No virtual channels, no
-//!   wormhole/cut-through — see ROADMAP "Open items".)
+//!   head-of-line blocking, and — on a single channel — genuine buffer
+//!   deadlock, reported via [`CongestionReport::deadlocked`]), not just
+//!   saturation throughput.
+//! * [`FlowControl::VirtualChannel`] multiplexes `vcs` independent
+//!   dateline-ordered virtual channels over each directed link (each with
+//!   its own credit-guarded buffer), which breaks the de Bruijn shift-cycle
+//!   credit loops that deadlock single-channel bounded buffers, and
+//!   [`Switching::Wormhole`] streams multi-flit packets cut-through with
+//!   the link held for the whole flit train. The full design — dateline
+//!   deadlock-freedom argument included — is written up in
+//!   `docs/CONGESTION.md`.
 //!
 //! Arbitration is deterministic oldest-first: packets are visited in age
 //! order every cycle, and a packet claims its output port and link for the
@@ -107,6 +114,6 @@ pub mod shard;
 pub use engine::{
     measure_open_loop, run_open_loop, run_recovery, CongestionConfig, CongestionEngine,
     CongestionReport, CongestionSim, CycleEvents, EngineKind, FaultResponse, FlowControl,
-    OpenLoopReport, RecoveryOutcome, RouteSource,
+    OpenLoopReport, RecoveryOutcome, RouteSource, Switching,
 };
 pub use shard::ShardedSim;

@@ -8,14 +8,18 @@
 //!
 //! Why equivalence holds: every resource a packet contends for in a cycle —
 //! its node's output port, its outgoing link's claim stamp, that link's
-//! downstream credits — is a function of the packet's *current* node, so it
-//! is owned by exactly one shard and arbitration never races. Per-shard
-//! examination in ascending packet id equals the global id order restricted
-//! to each shard, and winners are decided per-resource, so splitting the
-//! scan changes nothing. Credit returns already take effect one cycle late
-//! in the single-table engine, which makes barrier shipping invisible; a
-//! migrating packet is examined again only on the following cycle, exactly
-//! like a mover in the single engine.
+//! per-VC downstream credits — is a function of the packet's *current*
+//! node, so it is owned by exactly one shard and arbitration never races.
+//! Per-shard examination in ascending packet id equals the global id order
+//! restricted to each shard, and winners are decided per-resource, so
+//! splitting the scan changes nothing. Credit returns already take effect
+//! at least one cycle late in the single-table engine (`packet_flits`
+//! cycles under wormhole — the timed credit FIFO), which makes barrier
+//! shipping invisible: a credit generated at cycle `c` is due at
+//! `c + packet_flits`, and the barrier delivers it to its owner before the
+//! phase of cycle `c + 1 <= c + packet_flits`. A migrating packet is
+//! examined again only on the following cycle, exactly like a mover in the
+//! single engine; its VC index rides along in the [`Flit`].
 //!
 //! The sharded engine only carries implicit (O(1)) route state per packet —
 //! materialized segments appear only as re-route spills — and does not
@@ -26,7 +30,7 @@ use super::boundary::{shard_floor, shard_of, BoundaryBatch, Flit};
 use super::engine::{
     edge_slot_in, implicit_entry_in, pk, pk_node, pk_slot, pk_terminal, CongestionConfig,
     CongestionEngine, CongestionReport, EngineKind, FaultResponse, FlowControl, LinkGate,
-    RouteSource, DELIVERS, IMPLICIT_ACTIVE, NEVER, NONE_ID, NO_LOGICAL, NO_SLOT,
+    RouteSource, Switching, DELIVERS, IMPLICIT_ACTIVE, NEVER, NONE_ID, NO_LOGICAL, NO_SLOT,
 };
 use super::implicit_route;
 use crate::machine::{PhysicalMachine, PortModel};
@@ -62,9 +66,10 @@ struct ShardCtx<'a> {
     fault_response: FaultResponse,
 }
 
-/// One shard's share of the engine state. Link-slot state (`links`,
-/// `pending_credit`, blocked queues) is indexed by *local* slot id
-/// (`global - slot_lo`); packet arrays span the full id space so global
+/// One shard's share of the engine state. Link-gate state (`links`, the
+/// credit FIFO marks, blocked queues) is indexed by *local* gate id
+/// (`global_gidx - slot_lo * vcs`, one gate per (link slot, VC) exactly
+/// like the single engine); packet arrays span the full id space so global
 /// packet ids index directly (a packet is *hosted* by the shard owning its
 /// current node — `cursor != NEVER` exactly there).
 struct ShardCore {
@@ -73,13 +78,27 @@ struct ShardCore {
     slot_lo: usize,
     slot_hi: usize,
     flow_depth: u32,
-    // --- local link state (local slot ids) ------------------------------
+    /// Virtual channels per link; 1 for the legacy flow-control modes.
+    vcs: usize,
+    /// Flits per packet (link/credit hold time); 1 outside wormhole.
+    packet_flits: u32,
+    /// Whether per-VC metrics (`vc`, `blocked_since`) are live.
+    track_vc: bool,
+    // --- local link state (local gate ids: (slot - slot_lo) * vcs + vc) --
     links: Vec<LinkGate>,
-    pending_credit: Vec<u32>,
-    pending_slots: Vec<u32>,
+    /// Timed credit returns `(due_cycle, local_gidx, count)`, due-sorted;
+    /// mirrors the single engine's FIFO (barrier-shipped returns land with
+    /// the same due cycle they would have had locally).
+    credit_fifo: Vec<(u32, u32, u32)>,
+    credit_fifo_pos: usize,
+    /// Per-gate coalescing cursor into `credit_fifo` (entry index + 1).
+    credit_mark: Vec<u32>,
     blocked_head: Vec<u32>,
     blocked_tail: Vec<u32>,
-    served_slots: Vec<u32>,
+    /// Timed claim expiries `(due_cycle, local_slot)`; on expiry every VC
+    /// queue head of the slot that can admit a flit is woken.
+    served_fifo: Vec<(u32, u32)>,
+    served_fifo_pos: usize,
     // --- local node state ------------------------------------------------
     node_claim: Vec<u32>,
     // --- dynamic faults (full copies: hazard checks need remote deads) ---
@@ -96,9 +115,15 @@ struct ShardCore {
     cursor: Vec<u32>,
     /// Local-arena end of a materialized (re-routed/migrated) segment.
     seg_end: Vec<u32>,
-    /// *Global* CSR slot of the buffer the packet occupies (may belong to
-    /// another shard after a migration; credits route home at the barrier).
+    /// *Global* gate id (`slot * vcs + vc`) of the buffer the packet
+    /// occupies (may belong to another shard after a migration; credits
+    /// route home at the barrier).
     occupied_slot: Vec<u32>,
+    /// Current virtual channel per hosted packet (0 outside VC mode).
+    vc: Vec<u8>,
+    /// First-failure cycle per hosted blocked packet (`NEVER` = clear);
+    /// only maintained when `track_vc`.
+    blocked_since: Vec<u32>,
     blocked_next: Vec<u32>,
     in_network: Vec<bool>,
     queued_now: Vec<u64>,
@@ -118,12 +143,18 @@ struct ShardCore {
     moved: u64,
     injected: u64,
     killed: usize,
+    /// Per-VC flit totals for this core's links (summed by the driver).
+    vc_flits: Vec<u64>,
+    /// Per-VC closed head-of-line blocked spans (summed by the driver; the
+    /// report adds the still-open spans of hosted packets).
+    vc_hol_blocked_cycles: Vec<u64>,
     // --- re-route scratch -------------------------------------------------
     searcher: Searcher,
     reroute_path: Vec<NodeId>,
 }
 
 impl ShardCore {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         node_lo: usize,
         node_hi: usize,
@@ -132,27 +163,36 @@ impl ShardCore {
         n: usize,
         shards: usize,
         flow_depth: u32,
+        vcs: usize,
+        packet_flits: u32,
+        track_vc: bool,
     ) -> Self {
         let slots = slot_hi - slot_lo;
-        let credit_len = if flow_depth > 0 { slots } else { 0 };
+        let gates = slots * vcs;
+        let credit_len = if flow_depth > 0 { gates } else { 0 };
         ShardCore {
             node_lo,
             node_hi,
             slot_lo,
             slot_hi,
             flow_depth,
+            vcs,
+            packet_flits,
+            track_vc,
             links: vec![
                 LinkGate {
                     claim: NEVER,
                     credits: flow_depth,
                 };
-                slots
+                gates
             ],
-            pending_credit: vec![0; credit_len],
-            pending_slots: Vec::new(),
-            blocked_head: vec![NONE_ID; slots],
-            blocked_tail: vec![NONE_ID; slots],
-            served_slots: Vec::with_capacity(slots.min(1 << 16)),
+            credit_fifo: Vec::with_capacity(credit_len * packet_flits as usize),
+            credit_fifo_pos: 0,
+            credit_mark: vec![0; credit_len],
+            blocked_head: vec![NONE_ID; gates],
+            blocked_tail: vec![NONE_ID; gates],
+            served_fifo: Vec::with_capacity((slots * packet_flits as usize).min(1 << 16)),
+            served_fifo_pos: 0,
             node_claim: vec![NEVER; node_hi - node_lo],
             dead: vec![false; n],
             dead_list: Vec::new(),
@@ -164,6 +204,8 @@ impl ShardCore {
             cursor: Vec::new(),
             seg_end: Vec::new(),
             occupied_slot: Vec::new(),
+            vc: Vec::new(),
+            blocked_since: Vec::new(),
             blocked_next: Vec::new(),
             in_network: Vec::new(),
             queued_now: Vec::new(),
@@ -177,6 +219,8 @@ impl ShardCore {
             moved: 0,
             injected: 0,
             killed: 0,
+            vc_flits: vec![0; if track_vc { vcs } else { 0 }],
+            vc_hol_blocked_cycles: vec![0; if track_vc { vcs } else { 0 }],
             searcher: Searcher::default(),
             reroute_path: Vec::new(),
         }
@@ -190,6 +234,8 @@ impl ShardCore {
         self.cursor.push(NEVER);
         self.seg_end.push(0);
         self.occupied_slot.push(NO_SLOT);
+        self.vc.push(0);
+        self.blocked_since.push(NEVER);
         self.blocked_next.push(NONE_ID);
         self.in_network.push(false);
         let words = (id >> 6) + 1;
@@ -264,57 +310,151 @@ impl ShardCore {
         }
     }
 
-    /// Schedules a credit return for *local* slot `ls` (usable next cycle).
-    fn return_credit_local(&mut self, ls: usize) {
-        if self.pending_credit[ls] == 0 {
-            self.pending_slots.push(ls as u32);
+    /// Records that blocked packet `id` became unblocked at `cycle`; the
+    /// mirror of the single engine's `note_unblocked`.
+    #[inline]
+    fn note_unblocked(&mut self, id: usize, cycle: u32) {
+        if self.track_vc {
+            let since = self.blocked_since[id];
+            if since != NEVER {
+                self.vc_hol_blocked_cycles[self.vc[id] as usize] += (cycle - since) as u64;
+                self.blocked_since[id] = NEVER;
+            }
         }
-        self.pending_credit[ls] += 1;
     }
 
-    /// Returns a credit for *global* slot `s`: locally when this shard owns
-    /// the slot, else shipped to the owner at the cycle barrier. Slot
-    /// ownership follows the contiguous CSR cut, so the owner is the last
-    /// shard whose slot range starts at or before `s` (skipping any empty
-    /// shards in between).
-    fn return_credit_global(&mut self, ctx: &ShardCtx<'_>, s: u32) {
-        let su = s as usize;
-        if su >= self.slot_lo && su < self.slot_hi {
-            self.return_credit_local(su - self.slot_lo);
+    /// Records that packet `id` failed examination at `cycle`; only the
+    /// *first* failure since the last move sticks.
+    #[inline]
+    fn note_blocked(&mut self, id: usize, cycle: u32) {
+        if self.track_vc && self.blocked_since[id] == NEVER {
+            self.blocked_since[id] = cycle;
+        }
+    }
+
+    /// Enqueues a credit return for *local* gate `lg`, due at `due`,
+    /// coalescing per (due, gate) through `credit_mark` exactly like the
+    /// single engine's `return_credit` — one FIFO entry (and so one wake)
+    /// per gate per generating cycle, whatever mix of local and
+    /// barrier-shipped returns produced it.
+    fn push_credit(&mut self, lg: u32, due: u32) {
+        let m = self.credit_mark[lg as usize] as usize;
+        if m > 0 && m <= self.credit_fifo.len() {
+            let entry = &mut self.credit_fifo[m - 1];
+            // A stale mark only coalesces when both the due cycle and the
+            // gate match — applied entries are always due in the past.
+            if entry.0 == due && entry.1 == lg {
+                entry.2 += 1;
+                return;
+            }
+        }
+        self.credit_mark[lg as usize] = self.credit_fifo.len() as u32 + 1;
+        self.credit_fifo.push((due, lg, 1));
+    }
+
+    /// Schedules a credit return for *local* gate `lg` generated at
+    /// `cycle`: due `packet_flits` cycles later, when the tail flit clears
+    /// the slot.
+    fn return_credit_local(&mut self, lg: usize, cycle: u32) {
+        self.push_credit(lg as u32, cycle + self.packet_flits);
+    }
+
+    /// Returns a credit for *global* gate `g` generated at `cycle`: locally
+    /// when this shard owns the gate's link slot, else shipped to the owner
+    /// at the cycle barrier (the owner restores the due cycle from the
+    /// barrier timing). Slot ownership follows the contiguous CSR cut, so
+    /// the owner is the last shard whose slot range starts at or before the
+    /// gate's slot (skipping any empty shards in between).
+    fn return_credit_global(&mut self, ctx: &ShardCtx<'_>, g: u32, cycle: u32) {
+        let gu = g as usize;
+        let slot = gu / self.vcs;
+        if slot >= self.slot_lo && slot < self.slot_hi {
+            self.return_credit_local(gu - self.slot_lo * self.vcs, cycle);
         } else {
-            let owner = ctx.slot_start.partition_point(|&x| x as usize <= su) - 1;
-            self.out_credits[owner].push(s);
+            let owner = ctx.slot_start.partition_point(|&x| (x as usize) <= slot) - 1;
+            self.out_credits[owner].push(g);
         }
     }
 
     /// Resolves hosted packet `id` with resolution `code`, releasing its
     /// buffer slot (possibly to another shard) under credit flow control.
     fn resolve(&mut self, ctx: &ShardCtx<'_>, id: usize, cycle: u32, code: u8) {
+        self.note_unblocked(id, cycle);
         self.resolved.push((id as u32, cycle, code));
         self.in_network[id] = false;
         self.cursor[id] = NEVER;
         if self.flow_depth > 0 {
-            let slot = self.occupied_slot[id];
-            if slot != NO_SLOT {
-                self.return_credit_global(ctx, slot);
+            let g = self.occupied_slot[id];
+            if g != NO_SLOT {
+                self.return_credit_global(ctx, g, cycle);
                 self.occupied_slot[id] = NO_SLOT;
             }
         }
     }
 
-    /// Applies the credits returned last cycle (local and barrier-shipped)
-    /// and wakes each replenished slot's queue head. Per-slot independence
-    /// makes the application order irrelevant, so the interleaving of local
-    /// and remote returns cannot perturb the outcome.
-    fn apply_pending_credits(&mut self) {
-        for i in 0..self.pending_slots.len() {
-            let ls = self.pending_slots[i] as usize;
-            self.links[ls].credits += self.pending_credit[ls];
-            self.pending_credit[ls] = 0;
-            debug_assert!(self.links[ls].credits <= self.flow_depth, "credit overflow");
-            self.wake_head(ls);
+    /// Applies the credit returns due by `cycle` (local and barrier-shipped
+    /// share the FIFO, with identical due cycles) and wakes each
+    /// replenished gate's queue head; the applied prefix is reclaimed
+    /// exactly like the single engine's. Per-gate independence makes the
+    /// application order irrelevant, so the interleaving of local and
+    /// remote returns cannot perturb the outcome.
+    fn apply_pending_credits(&mut self, cycle: u32) {
+        while self.credit_fifo_pos < self.credit_fifo.len() {
+            let (due, lg, count) = self.credit_fifo[self.credit_fifo_pos];
+            if due > cycle {
+                break;
+            }
+            self.credit_fifo_pos += 1;
+            let lgu = lg as usize;
+            self.links[lgu].credits += count;
+            debug_assert!(
+                self.links[lgu].credits <= self.flow_depth,
+                "credit overflow"
+            );
+            self.wake_head(lgu);
         }
-        self.pending_slots.clear();
+        if self.credit_fifo_pos >= self.credit_fifo.len() {
+            self.credit_fifo.clear();
+            self.credit_fifo_pos = 0;
+        } else if self.credit_fifo_pos >= 64 && self.credit_fifo_pos * 2 >= self.credit_fifo.len() {
+            self.credit_fifo.drain(..self.credit_fifo_pos);
+            self.credit_fifo_pos = 0;
+        }
+    }
+
+    /// Wakes the served-slot VC queue heads whose link claims expire by
+    /// `cycle`; the mirror of the single engine's `apply_due_serves`.
+    fn apply_due_serves(&mut self, cycle: u32) {
+        while self.served_fifo_pos < self.served_fifo.len() {
+            let (due, ls) = self.served_fifo[self.served_fifo_pos];
+            if due > cycle {
+                break;
+            }
+            self.served_fifo_pos += 1;
+            let base = ls as usize * self.vcs;
+            for lg in base..base + self.vcs {
+                if self.blocked_head[lg] != NONE_ID
+                    && (self.flow_depth == 0 || self.links[lg].credits > 0)
+                {
+                    self.wake_head(lg);
+                }
+            }
+        }
+        if self.served_fifo_pos >= self.served_fifo.len() {
+            self.served_fifo.clear();
+            self.served_fifo_pos = 0;
+        } else if self.served_fifo_pos >= 64 && self.served_fifo_pos * 2 >= self.served_fifo.len() {
+            self.served_fifo.drain(..self.served_fifo_pos);
+            self.served_fifo_pos = 0;
+        }
+    }
+
+    /// Whether timed credit returns or claim expiries are still in flight
+    /// on this core — the per-core share of the single engine's
+    /// `credits_pending() || serves_pending()` quiescence veto.
+    fn fifos_drained(&self) -> bool {
+        self.credit_fifo_pos >= self.credit_fifo.len()
+            && self.served_fifo_pos >= self.served_fifo.len()
     }
 
     /// Injects due home packets; mirrors the single engine's
@@ -460,12 +600,19 @@ impl ShardCore {
         } else {
             self.arena[self.cursor[id] as usize..self.seg_end[id] as usize].to_vec()
         };
+        // A mover's blocked span was closed by `note_unblocked` on the move
+        // that triggered this migration, so no HoL state needs to travel.
+        debug_assert!(
+            self.blocked_since[id] == NEVER,
+            "blocked span crossed a barrier"
+        );
         self.out_flits[dest].push(Flit {
             id: id as u32,
             entry: self.entry[id],
             pos: self.imp_pos[id],
             rem: self.imp_rem[id],
             occupied_slot: self.occupied_slot[id],
+            vc: self.vc[id],
             path,
         });
         self.in_network[id] = false;
@@ -473,15 +620,22 @@ impl ShardCore {
         self.occupied_slot[id] = NO_SLOT;
     }
 
-    /// Adopts barrier-shipped state: credit returns into the pending set
-    /// (usable next cycle, exactly like local returns) and in-migrating
-    /// flits into the hosted table, queued for next cycle's examination —
-    /// the same timing a mover has in the single-table engine.
-    fn apply_inbound(&mut self, flits: &[Flit], credits: &[u32]) {
-        for &s in credits {
-            let su = s as usize;
-            debug_assert!(su >= self.slot_lo && su < self.slot_hi, "foreign credit");
-            self.return_credit_local(su - self.slot_lo);
+    /// Adopts barrier-shipped state at the start of cycle `now`: credit
+    /// returns into the timed FIFO (due `now + packet_flits - 1`, i.e. the
+    /// same `generating_cycle + packet_flits` a local return would carry)
+    /// and in-migrating flits into the hosted table, queued for this
+    /// cycle's examination — the same timing a mover has in the
+    /// single-table engine.
+    fn apply_inbound(&mut self, flits: &[Flit], credits: &[u32], now: u32) {
+        let due = now + self.packet_flits - 1;
+        for &g in credits {
+            let gu = g as usize;
+            let slot = gu / self.vcs;
+            debug_assert!(
+                slot >= self.slot_lo && slot < self.slot_hi,
+                "foreign credit"
+            );
+            self.push_credit((gu - self.slot_lo * self.vcs) as u32, due);
         }
         for flit in flits {
             let id = flit.id as usize;
@@ -489,6 +643,7 @@ impl ShardCore {
             self.imp_pos[id] = flit.pos;
             self.imp_rem[id] = flit.rem;
             self.occupied_slot[id] = flit.occupied_slot;
+            self.vc[id] = flit.vc;
             if flit.path.is_empty() {
                 self.cursor[id] = IMPLICIT_ACTIVE;
             } else {
@@ -521,23 +676,15 @@ impl ShardCore {
     }
 
     /// One shard's share of a cycle, phase-for-phase identical to the
-    /// single-table engine's `step`: apply pending credits, wake served
+    /// single-table engine's `step`: apply due credits, wake due served
     /// slots, inject due packets, fire due faults, then examine queued
     /// packets in ascending id order.
     fn phase(&mut self, ctx: &ShardCtx<'_>, cycle: u32) {
         self.moved = 0;
         self.injected = 0;
         self.killed = 0;
-        self.apply_pending_credits();
-        for i in 0..self.served_slots.len() {
-            let ls = self.served_slots[i] as usize;
-            if self.blocked_head[ls] != NONE_ID
-                && (self.flow_depth == 0 || self.links[ls].credits > 0)
-            {
-                self.wake_head(ls);
-            }
-        }
-        self.served_slots.clear();
+        self.apply_pending_credits(cycle);
+        self.apply_due_serves(cycle);
         self.inject_due(ctx, cycle);
         self.fire_due_faults(ctx, cycle);
         self.exam(ctx, cycle);
@@ -547,6 +694,9 @@ impl ShardCore {
     /// shard's queued packets.
     fn exam(&mut self, ctx: &ShardCtx<'_>, stamp: u32) {
         let credit_based = self.flow_depth > 0;
+        let vcs = self.vcs;
+        let pf = self.packet_flits;
+        let track_vc = self.track_vc;
         let hazard = !self.dead_list.is_empty();
         for wi in 0..self.queued_now.len() {
             let mut word = self.queued_now[wi];
@@ -592,29 +742,50 @@ impl ShardCore {
                 }
                 let here = pk_node(entry);
                 let ls = slot - self.slot_lo;
-                let port_free = !ctx.single_port || self.node_claim[here - self.node_lo] != stamp;
-                let gate = self.links[ls];
-                let credit_free = !credit_based || gate.credits > 0;
-                if port_free && credit_free && gate.claim != stamp {
-                    self.links[ls].claim = stamp;
+                let vc = self.vc[id] as usize;
+                let lg = ls * vcs + vc;
+                // The physical link claim lives at the slot's VC-0 gate and
+                // holds for `packet_flits` cycles, exactly like the single
+                // engine (`claim != stamp` for single-flit packets).
+                let link_claim = self.links[ls * vcs].claim;
+                let link_free = link_claim == NEVER || stamp - link_claim >= pf;
+                let port_claim = self.node_claim[here - self.node_lo];
+                let port_free = !ctx.single_port || port_claim == NEVER || stamp - port_claim >= pf;
+                let credit_free = !credit_based || self.links[lg].credits > 0;
+                if port_free && credit_free && link_free {
+                    self.links[ls * vcs].claim = stamp;
                     if ctx.single_port {
                         self.node_claim[here - self.node_lo] = stamp;
                     }
                     if credit_based {
-                        self.links[ls].credits -= 1;
+                        self.links[lg].credits -= 1;
                         let prev = self.occupied_slot[id];
                         if prev != NO_SLOT {
-                            self.return_credit_global(ctx, prev);
+                            self.return_credit_global(ctx, prev, stamp);
                         }
-                        self.occupied_slot[id] = slot as u32;
+                        self.occupied_slot[id] = (slot * vcs + vc) as u32;
                     }
-                    if ctx.park {
-                        self.served_slots.push(ls as u32);
+                    if ctx.park || pf > 1 {
+                        self.served_fifo.push((stamp + pf, ls as u32));
                     }
                     self.moved += 1;
+                    if track_vc {
+                        self.vc_flits[vc] += pf as u64;
+                        self.note_unblocked(id, stamp);
+                    }
                     if entry & DELIVERS != 0 {
                         self.resolve(ctx, id, stamp, RES_DELIVERED);
                     } else {
+                        if track_vc {
+                            // Dateline rule, identical to the single engine:
+                            // a label-descending hop bumps the VC (capped).
+                            let next = ctx.machine.graph().csr().1[slot] as usize;
+                            if vc + 1 < vcs
+                                && implicit_route::dateline_crossing(here as u32, next as u32)
+                            {
+                                self.vc[id] = (vc + 1) as u8;
+                            }
+                        }
                         self.advance_route(ctx, id, slot);
                         let now = pk_node(self.entry[id]);
                         if now >= self.node_lo && now < self.node_hi {
@@ -624,10 +795,12 @@ impl ShardCore {
                         }
                     }
                 } else if ctx.park
-                    && (!credit_free || (gate.claim == stamp && self.blocked_head[ls] != NONE_ID))
+                    && (!credit_free || (link_claim == stamp && self.blocked_head[lg] != NONE_ID))
                 {
-                    self.park_on_slot(id, ls);
+                    self.note_blocked(id, stamp);
+                    self.park_on_slot(id, lg);
                 } else {
+                    self.note_blocked(id, stamp);
                     self.queued_next[wi] |= 1u64 << (id & 63);
                 }
             }
@@ -650,7 +823,11 @@ enum WorkerCmd {
     },
     /// Apply inbound traffic without running a cycle (the exit flush, so
     /// the cores hold a consistent post-barrier state when the run stops).
-    Apply { flits: Vec<Flit>, credits: Vec<u32> },
+    Apply {
+        now: u32,
+        flits: Vec<Flit>,
+        credits: Vec<u32>,
+    },
     /// Join.
     Stop,
 }
@@ -677,6 +854,9 @@ struct WorkerOut {
 pub struct ShardedSim {
     machine: PhysicalMachine,
     config: CongestionConfig,
+    /// Flits per packet (1 outside wormhole switching); the driver's
+    /// flit accounting multiplies packet-moves by this.
+    packet_flits: u32,
     shards: usize,
     threads: usize,
     /// First global CSR slot per shard (length `shards + 1`).
@@ -726,16 +906,39 @@ impl ShardedSim {
             "the sharded engine carries O(1) implicit route state only; \
              use CongestionSim for materialized loads"
         );
-        let flow_depth = match config.flow_control {
-            FlowControl::Infinite => 0,
+        let (flow_depth, vcs, packet_flits) = match config.flow_control {
+            FlowControl::Infinite => (0, 1, 1),
             FlowControl::CreditBased { buffer_depth } => {
                 assert!(
                     buffer_depth >= 1,
                     "credit flow control needs at least one slot"
                 );
-                buffer_depth
+                (buffer_depth, 1, 1)
+            }
+            FlowControl::VirtualChannel {
+                vcs,
+                buffer_depth,
+                switching,
+            } => {
+                assert!(
+                    vcs >= 1,
+                    "virtual-channel flow control needs at least one VC"
+                );
+                assert!(
+                    buffer_depth >= 1,
+                    "credit flow control needs at least one slot"
+                );
+                let packet_flits = match switching {
+                    Switching::StoreAndForward => 1,
+                    Switching::Wormhole { packet_flits } => {
+                        assert!(packet_flits >= 1, "wormhole packets need at least one flit");
+                        packet_flits
+                    }
+                };
+                (buffer_depth, vcs, packet_flits)
             }
         };
+        let track_vc = matches!(config.flow_control, FlowControl::VirtualChannel { .. });
         let n = machine.node_count();
         let (offsets, _) = machine.graph().csr();
         let mut slot_start = Vec::with_capacity(shards + 1);
@@ -752,11 +955,15 @@ impl ShardedSim {
                     n,
                     shards,
                     flow_depth,
+                    vcs as usize,
+                    packet_flits,
+                    track_vc,
                 )
             })
             .collect();
         ShardedSim {
             config,
+            packet_flits,
             shards,
             threads: threads.max(1),
             slot_start,
@@ -1059,7 +1266,8 @@ impl ShardedSim {
             }
             batches.sort_by_key(|b| (b.dst, b.src));
             for b in &batches {
-                self.cores[b.dst as usize].apply_inbound(&b.flits, &b.credits);
+                // Inbound traffic lands at the start of the *next* cycle.
+                self.cores[b.dst as usize].apply_inbound(&b.flits, &b.credits, cycle + 1);
             }
             {
                 let ShardedSim {
@@ -1088,13 +1296,13 @@ impl ShardedSim {
                     }
                 }
             }
-            self.total_flits += moved;
+            self.total_flits += moved * self.packet_flits as u64;
             self.cycle += 1;
             if moved == 0
                 && injected == 0
                 && killed == 0
                 && self.live > 0
-                && self.cores.iter().all(|c| c.pending_slots.is_empty())
+                && self.cores.iter().all(|c| c.fifos_drained())
                 && self.cores.iter().all(|c| c.injects_done())
                 && self
                     .cores
@@ -1109,6 +1317,7 @@ impl ShardedSim {
 
     fn run_threaded(&mut self, horizon: u32) {
         let shards = self.shards;
+        let pf = self.packet_flits as u64;
         let mut any_pending = self.cores.iter().any(|c| !c.injects_done());
         let ShardedSim {
             machine,
@@ -1207,10 +1416,10 @@ impl ShardedSim {
                     inbound_flits[b.dst as usize].extend(b.flits);
                     inbound_credits[b.dst as usize].extend(b.credits);
                 }
-                *total_flits += moved;
+                *total_flits += moved * pf;
                 *cycle += 1;
-                // The workers report their pending-credit state *before*
-                // the barrier; pre-barrier-empty plus nothing shipped is
+                // The workers report their timed-FIFO state *before* the
+                // barrier; pre-barrier-drained plus nothing shipped is
                 // exactly the single engine's post-return emptiness check
                 // (and shipped flits imply `moved > 0` anyway).
                 if moved == 0
@@ -1232,7 +1441,11 @@ impl ShardedSim {
                 let flits = std::mem::take(&mut inbound_flits[shard]);
                 let credits = std::mem::take(&mut inbound_credits[shard]);
                 if !flits.is_empty() || !credits.is_empty() {
-                    let _ = tx.send(WorkerCmd::Apply { flits, credits });
+                    let _ = tx.send(WorkerCmd::Apply {
+                        now: *cycle,
+                        flits,
+                        credits,
+                    });
                 }
                 let _ = tx.send(WorkerCmd::Stop);
             }
@@ -1261,6 +1474,31 @@ impl ShardedSim {
         // latencies does not. A full sort (idempotent) restores the
         // canonical form the summary is computed from.
         self.latencies.sort_unstable();
+        // Per-VC counters are element-wise sums over the cores (u64 adds
+        // commute, so the shard cut is invisible); still-open blocked spans
+        // are folded in from each packet's unique hosting core, exactly
+        // like the single engine's report-time scan.
+        let first = self.cores.first();
+        let track_vc = first.is_some_and(|c| c.track_vc);
+        let vcs = first.map_or(0, |c| if c.track_vc { c.vcs } else { 0 });
+        let mut vc_flits = vec![0u64; vcs];
+        let mut vc_hol = vec![0u64; vcs];
+        if track_vc {
+            for core in &self.cores {
+                for (acc, v) in vc_flits.iter_mut().zip(&core.vc_flits) {
+                    *acc += v;
+                }
+                for (acc, v) in vc_hol.iter_mut().zip(&core.vc_hol_blocked_cycles) {
+                    *acc += v;
+                }
+                for id in 0..core.in_network.len() {
+                    if core.in_network[id] && core.blocked_since[id] != NEVER {
+                        vc_hol[core.vc[id] as usize] +=
+                            (self.cycle - core.blocked_since[id]) as u64;
+                    }
+                }
+            }
+        }
         CongestionReport {
             cycles: self.cycle,
             injected: self.inject_at.len() as u64,
@@ -1269,6 +1507,8 @@ impl ShardedSim {
             total_flits: self.total_flits,
             completed: self.live == 0 && self.cores.iter().all(|c| c.injects_done()),
             deadlocked: self.deadlocked,
+            vc_flits,
+            vc_hol_blocked_cycles: vc_hol,
             latency: LatencySummary::from_sorted(&self.latencies),
         }
     }
@@ -1325,7 +1565,7 @@ fn worker_loop(
                 credits,
             } => {
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    core.apply_inbound(&flits, &credits);
+                    core.apply_inbound(&flits, &credits, cycle);
                     core.phase(ctx, cycle);
                     WorkerOut {
                         shard,
@@ -1334,7 +1574,7 @@ fn worker_loop(
                         killed: core.killed,
                         resolved: std::mem::take(&mut core.resolved),
                         batches: core.take_batches(shard),
-                        pending_empty: core.pending_slots.is_empty(),
+                        pending_empty: core.fifos_drained(),
                         injects_done: core.injects_done(),
                         schedule_done: core.schedule_pos >= core.schedule.len(),
                     }
@@ -1351,7 +1591,11 @@ fn worker_loop(
                     }
                 }
             }
-            WorkerCmd::Apply { flits, credits } => core.apply_inbound(&flits, &credits),
+            WorkerCmd::Apply {
+                now,
+                flits,
+                credits,
+            } => core.apply_inbound(&flits, &credits, now),
             WorkerCmd::Stop => return,
         }
     }
@@ -1438,6 +1682,8 @@ mod tests {
             total_flits,
             completed,
             deadlocked,
+            vc_flits,
+            vc_hol_blocked_cycles,
             latency,
         } = sharded;
         assert_eq!(*cycles, single.cycles, "cycles diverged");
@@ -1447,6 +1693,11 @@ mod tests {
         assert_eq!(*total_flits, single.total_flits, "total_flits diverged");
         assert_eq!(*completed, single.completed, "completed diverged");
         assert_eq!(*deadlocked, single.deadlocked, "deadlocked diverged");
+        assert_eq!(*vc_flits, single.vc_flits, "vc_flits diverged");
+        assert_eq!(
+            *vc_hol_blocked_cycles, single.vc_hol_blocked_cycles,
+            "vc_hol_blocked_cycles diverged"
+        );
         assert_eq!(*latency, single.latency, "latency summary diverged");
     }
 
@@ -1485,6 +1736,44 @@ mod tests {
                 let got = sharded_report(&db, PortModel::SinglePort, config, &pairs, shards, 1);
                 assert_report_fields_equal(&got, &want);
                 assert_eq!(got, want, "depth={depth} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_under_vc_wormhole_hotspot() {
+        // Virtual channels and wormhole trains exercise every new barrier
+        // path at once: per-(link, vc) credit returns shipped across shards,
+        // timed credit dues surviving the barrier, VC labels riding Flit
+        // migrations, and multi-cycle link holds spanning a cycle boundary.
+        // The vcs = 2 / depth = 1 rows drain a workload that deadlocks the
+        // vcs = 1 rows, so both the draining and the wedged fixed points are
+        // checked for byte-identical reports.
+        let (db, _) = machine_for(4, PortModel::SinglePort);
+        let n = db.node_count();
+        let pairs = workload::all_to_one(n, 3);
+        for vcs in [1u32, 2, 4] {
+            for switching in [
+                Switching::StoreAndForward,
+                Switching::Wormhole { packet_flits: 3 },
+            ] {
+                let config = CongestionConfig {
+                    flow_control: FlowControl::VirtualChannel {
+                        vcs,
+                        buffer_depth: 1,
+                        switching,
+                    },
+                    ..CongestionConfig::default()
+                };
+                let want = single_report(&db, PortModel::SinglePort, config, &pairs);
+                for shards in [1usize, 2, 3, 4] {
+                    let got = sharded_report(&db, PortModel::SinglePort, config, &pairs, shards, 1);
+                    assert_report_fields_equal(&got, &want);
+                    assert_eq!(got, want, "vcs={vcs} {switching:?} shards={shards}");
+                }
+                let got = sharded_report(&db, PortModel::SinglePort, config, &pairs, 4, 2);
+                assert_report_fields_equal(&got, &want);
+                assert_eq!(got, want, "vcs={vcs} {switching:?} threaded");
             }
         }
     }

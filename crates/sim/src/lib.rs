@@ -33,7 +33,7 @@
 //!   statistics used by the experiment driver.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ascend_descend;
 pub mod bus_model;
@@ -46,6 +46,7 @@ pub mod routing;
 pub mod workload;
 
 pub use congestion::{
-    CongestionConfig, CongestionEngine, CongestionReport, CongestionSim, FaultResponse, ShardedSim,
+    CongestionConfig, CongestionEngine, CongestionReport, CongestionSim, FaultResponse,
+    FlowControl, ShardedSim, Switching,
 };
 pub use machine::{PhysicalMachine, PortModel, SimError};

@@ -14,7 +14,7 @@ use ftdb_analysis::sim_experiments::{sim5_load_sweep, SweepScenario};
 use ftdb_graph::Embedding;
 use ftdb_sim::congestion::{
     measure_open_loop, CongestionConfig, CongestionReport, CongestionSim, EngineKind,
-    FaultResponse, FlowControl, RouteSource, ShardedSim,
+    FaultResponse, FlowControl, RouteSource, ShardedSim, Switching,
 };
 use ftdb_sim::machine::{PhysicalMachine, PortModel};
 use ftdb_sim::workload::{self, InjectionProcess, OpenLoopSpec};
@@ -244,6 +244,8 @@ fn assert_report_fields_equal(wake: &CongestionReport, naive: &CongestionReport)
         total_flits,
         completed,
         deadlocked,
+        vc_flits,
+        vc_hol_blocked_cycles,
         latency,
     } = wake;
     assert_eq!(*cycles, naive.cycles, "cycles diverged");
@@ -253,15 +255,34 @@ fn assert_report_fields_equal(wake: &CongestionReport, naive: &CongestionReport)
     assert_eq!(*total_flits, naive.total_flits, "total_flits diverged");
     assert_eq!(*completed, naive.completed, "completed diverged");
     assert_eq!(*deadlocked, naive.deadlocked, "deadlocked diverged");
+    assert_eq!(*vc_flits, naive.vc_flits, "vc_flits diverged");
+    assert_eq!(
+        *vc_hol_blocked_cycles, naive.vc_hol_blocked_cycles,
+        "vc_hol_blocked_cycles diverged"
+    );
     assert_eq!(*latency, naive.latency, "latency summary diverged");
 }
 
-fn flow_of(depth: u32) -> FlowControl {
+/// Flow-control generator: `depth == 0` is infinite buffering; otherwise
+/// `vc_sel` picks the legacy single-channel credit mode (0) or
+/// `VirtualChannel` with `vcs` ∈ {1, 2, 4} (1..=3), and `worm_sel` picks
+/// store-and-forward (0) or wormhole trains of 2 or 4 flits (1, 2).
+fn flow_of(depth: u32, vc_sel: u8, worm_sel: u8) -> FlowControl {
     if depth == 0 {
         FlowControl::Infinite
-    } else {
+    } else if vc_sel == 0 {
         FlowControl::CreditBased {
             buffer_depth: depth,
+        }
+    } else {
+        FlowControl::VirtualChannel {
+            vcs: 1u32 << (vc_sel - 1),
+            buffer_depth: depth,
+            switching: match worm_sel {
+                0 => Switching::StoreAndForward,
+                1 => Switching::Wormhole { packet_flits: 2 },
+                _ => Switching::Wormhole { packet_flits: 4 },
+            },
         }
     }
 }
@@ -291,6 +312,8 @@ proptest! {
     fn engines_agree_on_random_batch_workloads(
         h in 3usize..6,
         depth in 0u32..4,
+        vc_sel in 0u8..4,
+        worm_sel in 0u8..3,
         single_port in 0u8..2,
         reroute in 0u8..2,
         packets in 1usize..200,
@@ -306,7 +329,7 @@ proptest! {
         assert_engines_agree(
             h,
             port_of(single_port == 1),
-            flow_of(depth),
+            flow_of(depth, vc_sel, worm_sel),
             response_of(reroute == 1),
             &pairs,
             &schedule,
@@ -321,6 +344,8 @@ proptest! {
     fn engines_agree_on_deadlocking_hotspots(
         h in 3usize..6,
         depth in 1u32..3,
+        vc_sel in 0u8..4,
+        worm_sel in 0u8..3,
         root_seed in 0usize..64,
         single_port in 0u8..2,
     ) {
@@ -329,7 +354,7 @@ proptest! {
         assert_engines_agree(
             h,
             port_of(single_port == 1),
-            flow_of(depth),
+            flow_of(depth, vc_sel, worm_sel),
             FaultResponse::Drop,
             &pairs,
             &[],
@@ -344,6 +369,8 @@ proptest! {
     fn engines_agree_on_open_loop_schedules(
         h in 3usize..6,
         depth in 0u32..4,
+        vc_sel in 0u8..4,
+        worm_sel in 0u8..3,
         load_pct in 5u32..95,
         faults in 0usize..3,
         reroute in 0u8..2,
@@ -366,12 +393,66 @@ proptest! {
         assert_engines_agree(
             h,
             PortModel::MultiPort,
-            flow_of(depth),
+            flow_of(depth, vc_sel, worm_sel),
             response_of(reroute == 1),
             &[],
             &schedule,
             Some(&injections),
         );
+    }
+}
+
+/// The ROADMAP's crisp acceptance test for virtual channels: the depth-1
+/// hot-spot workload that hard-deadlocks under single-channel credit flow
+/// (see `depth_one_hot_spot_deadlocks_and_is_detected`) must drain to
+/// completion once `vcs >= 2` dateline-ordered channels multiplex each
+/// link — across both engines, both route sources and every shard/thread
+/// configuration, byte-identically — while `vcs = 1` (a single virtual
+/// channel is just credit flow with extra bookkeeping) must still deadlock,
+/// so the detector stays honest.
+#[test]
+fn virtual_channels_break_the_depth_one_hotspot_deadlock() {
+    let h = 5;
+    let n = 1usize << h;
+    let pairs = workload::all_to_one(n, 2);
+    for port in [PortModel::MultiPort, PortModel::SinglePort] {
+        for (vcs, wants_deadlock) in [(1u32, true), (2, false), (4, false)] {
+            let flow = FlowControl::VirtualChannel {
+                vcs,
+                buffer_depth: 1,
+                switching: Switching::StoreAndForward,
+            };
+            // Pin every engine variant to the same report first…
+            assert_engines_agree(h, port, flow, FaultResponse::Drop, &pairs, &[], None);
+            // …then pin what that report says.
+            let run = drive(
+                EngineKind::WakeList,
+                RouteSource::Implicit,
+                h,
+                port,
+                flow,
+                FaultResponse::Drop,
+                &pairs,
+                &[],
+                None,
+            );
+            assert_eq!(
+                run.report.deadlocked, wants_deadlock,
+                "vcs={vcs} port={port:?}"
+            );
+            if !wants_deadlock {
+                assert!(run.report.completed, "vcs={vcs} port={port:?}");
+                assert_eq!(
+                    run.report.delivered, n as u64,
+                    "every packet must drain (vcs={vcs}, port={port:?})"
+                );
+            } else {
+                assert!(
+                    run.report.delivered < n as u64,
+                    "a deadlocked hotspot cannot deliver everything"
+                );
+            }
+        }
     }
 }
 
