@@ -25,6 +25,7 @@ pub mod ablation;
 pub mod comparison;
 pub mod corollaries;
 pub mod figures;
+pub mod reliability;
 pub mod report;
 pub mod sim_experiments;
 

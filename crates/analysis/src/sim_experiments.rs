@@ -73,7 +73,7 @@ pub fn sim1_ascend_slowdown(h: usize, k: usize, fault_node: usize) -> Vec<Slowdo
     // k faults on the fault-tolerant machine, reconfigured.
     let ft = FtShuffleExchange::new(h, k).expect("SE ⊆ DB embedding available for this h");
     let mut rng = rand::rngs::StdRng::seed_from_u64(fault_node as u64);
-    let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+    let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
     let placement = ft
         .reconfigure_verified(&faults)
         .expect("reconfiguration must succeed for <= k faults");
@@ -184,7 +184,7 @@ pub fn sim1_routing_table(h: usize, k: usize, seed: u64) -> TextTable {
     // Fault-tolerant, reconfigured.
     let ft = ftdb_core::FtDeBruijn2::new(h, k);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
-    let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+    let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
     let placement = ft
         .reconfigure_verified(&faults)
         .expect("reconfiguration succeeds");

@@ -283,7 +283,7 @@ fn allows_inventory_lists_every_site_with_justification() {
     // The burned-down Knuth Algorithm T sites are inventoried with their
     // rule, use count, and justification.
     assert!(
-        stdout.contains("crates/core/src/fault.rs:233: allow(transitive-panic) [1 use(s)] -- "),
+        stdout.contains("crates/core/src/fault.rs:297: allow(transitive-panic) [1 use(s)] -- "),
         "{stdout}"
     );
     assert!(stdout.contains("allow site(s)"), "{stdout}");

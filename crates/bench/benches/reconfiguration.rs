@@ -16,7 +16,7 @@ fn bench_reconfigure_base2(c: &mut Criterion) {
     for &(h, k) in ftdb_bench::BASE2_PARAMS {
         let ft = FtDeBruijn2::new(h, k);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         group.bench_with_input(
             BenchmarkId::new("map_only", format!("h{h}_k{k}")),
             &(&ft, &faults),
@@ -40,7 +40,7 @@ fn bench_reconfigure_base_m(c: &mut Criterion) {
     for &(m, h, k) in ftdb_bench::BASE_M_PARAMS {
         let ft = FtDeBruijnM::new(m, h, k);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("m{m}_h{h}_k{k}")),
             &(&ft, &faults),

@@ -60,7 +60,7 @@ fn bench_reconfigured_routing(c: &mut Criterion) {
         let ft = FtDeBruijn2::new(h, k);
         let db = ft.target().clone();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let placement = ft.reconfigure_verified(&faults).expect("tolerant");
         let machine =
             PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);

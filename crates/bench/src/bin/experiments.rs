@@ -8,21 +8,26 @@
 //!
 //! where each `experiment` is one of `fig1 fig2 fig3 fig4 fig5 table1 table2
 //! table3 corollaries tolerance sim sim-bus sim-congestion sim-loadsweep
-//! sim-sharded sim-vc sim-million sim-million-smoke ablation all`
-//! (default: `all`; the `sim-million*` scale runs are excluded from `all`).
+//! sim-sharded sim-vc sim-reliability sim-million sim-million-smoke ablation
+//! all` (default: `all`; the `sim-million*` scale runs and the
+//! Monte-Carlo `sim-reliability` sweep are excluded from `all`).
 //! Output is plain text on stdout; it is the source of the measured numbers
 //! recorded in `EXPERIMENTS.md`.
 //!
 //! `--threads N` sizes the worker pool of the sweep-style experiments
 //! (default: the machine's available parallelism). `--shards N` sizes the
 //! graph partition of the sharded-engine experiments (`sim-sharded`,
-//! `sim-vc`, `sim-million*`; default 4), and `--vcs N` the virtual-channel
-//! count of `sim-vc` (default 2). Every experiment is seeded and the
-//! parallel drivers merge in deterministic order, so the output is
-//! byte-identical for any `N` — CI diffs `--threads 4` against
-//! `--threads 1`, `--shards 1/2/4` against each other, and the `sim-vc`
-//! grid at each `--vcs 1/2/4` across `--shards 1/2/4`, to enforce exactly
-//! that.
+//! `sim-vc`, `sim-million*`, `sim-reliability`; default 4), and `--vcs N`
+//! the virtual-channel count of `sim-vc` (default 2). `sim-reliability`
+//! additionally takes `--trials N` (seeded Monte-Carlo trials per grid
+//! point, default 100), `--p-grid p1,p2,...` (fault probabilities, default
+//! `0.001,0.005,0.01,0.02,0.05`) and `--fault-model node|link|burst|all`
+//! (default `all`). Every experiment is seeded and the parallel drivers
+//! merge in deterministic order, so the output is byte-identical for any
+//! `N` — CI diffs `--threads 4` against `--threads 1`, `--shards 1/2/4`
+//! against each other, the `sim-vc` grid at each `--vcs 1/2/4` across
+//! `--shards 1/2/4`, and the `sim-reliability` curves across both knobs,
+//! to enforce exactly that.
 
 use ftdb_analysis::ablation::{
     offset_ablation, reconfig_ablation, render_offset_ablation, render_reconfig_ablation,
@@ -34,6 +39,9 @@ use ftdb_analysis::corollaries::{
     render_corollaries, render_tolerance, sweep_base2, sweep_base_m, sweep_bus, tolerance_sweep,
 };
 use ftdb_analysis::figures;
+use ftdb_analysis::reliability::{
+    reliability_sweep, render_reliability, FaultModel, ReliabilitySpec,
+};
 use ftdb_analysis::sim_experiments::{
     render_sim1, render_sim5, sim1_ascend_slowdown, sim1_routing_table, sim2_bus_table,
     sim3_congestion_table, sim4_recovery_table, sim5_tables, sim6_sharded_sweep, sim6_tables,
@@ -49,7 +57,24 @@ fn print_figure(fig: &figures::Figure) {
     }
 }
 
-fn run(name: &str, threads: usize, shards: usize, vcs: u32) -> bool {
+/// `sim-reliability` knobs gathered from the command line.
+struct ReliabilityArgs {
+    trials: usize,
+    p_grid: Vec<f64>,
+    models: Vec<FaultModel>,
+}
+
+impl Default for ReliabilityArgs {
+    fn default() -> Self {
+        ReliabilityArgs {
+            trials: 100,
+            p_grid: vec![0.001, 0.005, 0.01, 0.02, 0.05],
+            models: FaultModel::ALL.to_vec(),
+        }
+    }
+}
+
+fn run(name: &str, threads: usize, shards: usize, vcs: u32, rel: &ReliabilityArgs) -> bool {
     match name {
         "fig1" => print_figure(&figures::figure1()),
         "fig2" => print_figure(&figures::figure2()),
@@ -173,6 +198,24 @@ fn run(name: &str, threads: usize, shards: usize, vcs: u32) -> bool {
                 println!("{}", table.render());
             }
         }
+        "sim-reliability" => {
+            // The Monte-Carlo reliability sweep: delivery-probability and
+            // expected-slowdown curves with Wilson 95% CIs for node, link
+            // and burst faults on B(2,8)..B(2,10). The CI
+            // reliability-determinism job diffs this output across
+            // `--threads 1/4` and `--shards 1/2/4`: byte-identical always.
+            for h in [8usize, 9, 10] {
+                let mut spec = ReliabilitySpec::canonical(h);
+                spec.trials = rel.trials;
+                spec.p_grid = rel.p_grid.clone();
+                spec.threads = threads;
+                spec.shards = shards;
+                for &model in &rel.models {
+                    let curve = reliability_sweep(&spec, model);
+                    println!("{}", render_reliability(&curve).render());
+                }
+            }
+        }
         "sim-million" => {
             // The headline scale runs: an open-loop sweep on B(2,20)
             // (1,048,576 nodes) and a single-point B(2,24) (16.7M nodes)
@@ -238,7 +281,7 @@ fn run(name: &str, threads: usize, shards: usize, vcs: u32) -> bool {
                 "sim-vc",
                 "ablation",
             ] {
-                run(e, threads, shards, vcs);
+                run(e, threads, shards, vcs, rel);
             }
         }
         other => {
@@ -249,13 +292,14 @@ fn run(name: &str, threads: usize, shards: usize, vcs: u32) -> bool {
     true
 }
 
-const USAGE: &str = "usage: experiments [--threads N] [--shards N] [--vcs N] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|sim-sharded|sim-vc|sim-million|sim-million-smoke|ablation|all]...";
+const USAGE: &str = "usage: experiments [--threads N] [--shards N] [--vcs N] [--trials N] [--p-grid p1,p2,...] [--fault-model node|link|burst|all] [fig1|fig2|fig3|fig4|fig5|table1|table2|table3|corollaries|tolerance|sim|sim-bus|sim-congestion|sim-loadsweep|sim-sharded|sim-vc|sim-reliability|sim-million|sim-million-smoke|ablation|all]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut shards = 4usize;
     let mut vcs = 2u32;
+    let mut rel = ReliabilityArgs::default();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -284,15 +328,57 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trials" => match ftdb_bench::parse_threads_value(it.next()) {
+                Ok(t) => rel.trials = t,
+                Err(_) => {
+                    eprintln!("experiments: --trials requires a positive integer");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--p-grid" => match it.next().map(|v| {
+                v.split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+            }) {
+                Some(Ok(grid))
+                    if !grid.is_empty() && grid.iter().all(|p| (0.0..=1.0).contains(p)) =>
+                {
+                    rel.p_grid = grid;
+                }
+                _ => {
+                    eprintln!(
+                        "experiments: --p-grid requires comma-separated probabilities in [0, 1]"
+                    );
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--fault-model" => match it.next().map(String::as_str) {
+                Some("all") => rel.models = FaultModel::ALL.to_vec(),
+                Some(m) => match FaultModel::parse(m) {
+                    Some(model) => rel.models = vec![model],
+                    None => {
+                        eprintln!("experiments: --fault-model must be node, link, burst or all");
+                        eprintln!("{USAGE}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("experiments: --fault-model must be node, link, burst or all");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             _ => names.push(arg.clone()),
         }
     }
     let mut ok = true;
     if names.is_empty() {
-        ok &= run("all", threads, shards, vcs);
+        ok &= run("all", threads, shards, vcs, &rel);
     } else {
         for a in &names {
-            ok &= run(a, threads, shards, vcs);
+            ok &= run(a, threads, shards, vcs, &rel);
         }
     }
     if !ok {

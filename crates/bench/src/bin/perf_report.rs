@@ -24,6 +24,7 @@
 // `Instant::now` ban (clippy.toml) targets simulation code, not the harness.
 #![allow(clippy::disallowed_methods)]
 
+use ftdb_analysis::reliability::{reliability_sweep, FaultModel, ReliabilitySpec};
 use ftdb_analysis::sim_experiments::{sim5_load_sweep_parallel, sweep_worker_count, SweepScenario};
 use ftdb_core::fault::Combinations;
 use ftdb_core::verify::verify_exhaustive;
@@ -608,6 +609,46 @@ fn main() {
         ));
     }
 
+    // ---- Monte-Carlo reliability sweep -----------------------------------
+    // A small canonical reliability sweep (directed-link Bernoulli faults on
+    // B(2,6)): the cost of one seeded trial — healthy baseline plus the
+    // faulted grid runs — through the crossbeam fan-out with per-worker
+    // engine reuse. Like `sweep_parallel_h7`, the worker count is floored at
+    // 2 so the parallel path runs even on a single-CPU runner, and the count
+    // that actually ran rides into the JSON.
+    {
+        let mut spec = ReliabilitySpec::canonical(6);
+        spec.trials = if quick { 8 } else { 32 };
+        spec.p_grid = vec![0.0, 0.01, 0.05];
+        spec.threads = threads.max(2);
+        let mc_workers = sweep_worker_count(spec.threads, spec.trials);
+        let mut last = reliability_sweep(&spec, FaultModel::Link);
+        let m = measure(repeats, || {
+            last = reliability_sweep(&spec, FaultModel::Link);
+            black_box(last.points.len());
+        });
+        let name = "reliability_mc_h6".to_string();
+        let (ns, rate) = per_item(&m, spec.trials as u64);
+        println!(
+            "{name:<40} {ns:>12.1} ns/trial  {rate:>14.0} trial/s  ({} trials x {} grid points, {mc_workers} workers)",
+            spec.trials,
+            spec.p_grid.len()
+        );
+        suites.push((
+            name,
+            json!({
+                "ns_per_item": ns,
+                "items_per_s": rate,
+                "item": "trial",
+                "items_per_run": spec.trials as u64,
+                "repeats": m.repeats,
+                "grid_points": spec.p_grid.len(),
+                "threads": mc_workers,
+                "threads_requested": threads,
+            }),
+        ));
+    }
+
     // ---- Reconfiguration -----------------------------------------------
     for &(h, k) in if quick {
         &[(10usize, 4usize)] as &[(usize, usize)]
@@ -616,7 +657,7 @@ fn main() {
     } {
         let ft = FtDeBruijn2::new(h, k);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let reps = 64u64;
         let m = measure(repeats, || {
             for _ in 0..reps {

@@ -4,10 +4,56 @@
 //! tolerated by viewing a node that is incident to the faulty edge as being
 //! faulty"; [`FaultSet::from_edge_faults`] implements exactly that reduction.
 //! Section V extends the idea to bus faults (a faulty bus is charged to the
-//! node that owns it), which [`crate::bus`] builds on.
+//! node that owns it), which [`crate::bus`] builds on. Directed-link faults —
+//! where individual CSR edge slots die rather than whole nodes — live in
+//! [`crate::linkfault`] and project back onto this node model via
+//! [`crate::linkfault::LinkFaultSet::project_to_nodes`].
 
 use ftdb_graph::{BitSet, Graph, NodeId};
-use rand::seq::SliceRandom;
+
+/// Errors reported by the fault-set generators instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// Asked to fault more elements than the sampling universe holds.
+    CountExceedsUniverse {
+        /// Requested number of faulty elements.
+        count: usize,
+        /// Size of the universe being sampled from.
+        universe: usize,
+    },
+    /// A link fault named a directed edge the graph does not have.
+    MissingLink {
+        /// Source endpoint of the missing directed link.
+        from: NodeId,
+        /// Target endpoint of the missing directed link.
+        to: NodeId,
+    },
+    /// A node id lies outside the host graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        universe: usize,
+    },
+}
+
+impl core::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            FaultError::CountExceedsUniverse { count, universe } => {
+                write!(f, "cannot fault {count} of {universe} elements")
+            }
+            FaultError::MissingLink { from, to } => {
+                write!(f, "directed link {from} -> {to} does not exist")
+            }
+            FaultError::NodeOutOfRange { node, universe } => {
+                write!(f, "node {node} out of range for {universe}-node graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// A set of faulty nodes of a fault-tolerant graph with a fixed node count.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,14 +91,32 @@ impl FaultSet {
     }
 
     /// Draws a uniformly random fault set of exactly `count` distinct nodes.
-    pub fn random<R: rand::Rng>(universe: usize, count: usize, rng: &mut R) -> Self {
-        assert!(
-            count <= universe,
-            "cannot fault {count} of {universe} nodes"
-        );
-        let mut all: Vec<NodeId> = (0..universe).collect();
-        all.shuffle(rng);
-        FaultSet::from_nodes(universe, all.into_iter().take(count))
+    ///
+    /// Uses Floyd's sampling algorithm: `count` draws and one bit set,
+    /// instead of materialising and shuffling all `universe` ids — the
+    /// difference between O(count) and O(universe) work per Monte-Carlo
+    /// trial on million-node graphs. Returns
+    /// [`FaultError::CountExceedsUniverse`] when `count > universe`.
+    pub fn random<R: rand::RngExt>(
+        universe: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Self, FaultError> {
+        if count > universe {
+            return Err(FaultError::CountExceedsUniverse { count, universe });
+        }
+        // Floyd's algorithm: for j in n-count..n draw t uniform on [0, j];
+        // take t unless already taken, in which case take j. Each j is the
+        // largest id that can newly enter, which makes every count-subset
+        // equally likely (the classic induction on j).
+        let mut nodes = BitSet::new(universe);
+        for j in universe - count..universe {
+            let t = rng.random_range(0..j + 1);
+            if !nodes.insert(t) {
+                nodes.insert(j);
+            }
+        }
+        Ok(FaultSet { nodes })
     }
 
     /// Marks `node` as faulty. Returns `true` if it was previously healthy.
@@ -302,13 +366,14 @@ impl RevolvingDoor {
 }
 
 /// Samples `samples` random fault sets of size `k` (with replacement across
-/// samples) for a graph `g`, returning them as [`FaultSet`]s.
-pub fn sample_fault_sets<R: rand::Rng>(
+/// samples) for a graph `g`, returning them as [`FaultSet`]s. Fails with
+/// [`FaultError::CountExceedsUniverse`] when `k` exceeds the node count.
+pub fn sample_fault_sets<R: rand::RngExt>(
     g: &Graph,
     k: usize,
     samples: usize,
     rng: &mut R,
-) -> Vec<FaultSet> {
+) -> Result<Vec<FaultSet>, FaultError> {
     (0..samples)
         .map(|_| FaultSet::random(g.node_count(), k, rng))
         .collect()
@@ -345,10 +410,91 @@ mod tests {
     fn random_fault_set_has_exact_size() {
         let mut rng = rand::rng();
         for _ in 0..20 {
-            let f = FaultSet::random(20, 5, &mut rng);
+            let f = FaultSet::random(20, 5, &mut rng).unwrap();
             assert_eq!(f.len(), 5);
             assert!(f.iter().all(|v| v < 20));
         }
+        // Boundary cases: empty draw, full draw.
+        assert_eq!(FaultSet::random(9, 0, &mut rng).unwrap().len(), 0);
+        assert_eq!(FaultSet::random(9, 9, &mut rng).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn random_rejects_count_above_universe() {
+        let mut rng = rand::rng();
+        assert_eq!(
+            FaultSet::random(4, 5, &mut rng),
+            Err(FaultError::CountExceedsUniverse {
+                count: 5,
+                universe: 4
+            })
+        );
+        let g = generators::cycle(6);
+        assert!(sample_fault_sets(&g, 7, 2, &mut rng).is_err());
+        // Errors render a human-readable message.
+        let msg = format!(
+            "{}",
+            FaultError::CountExceedsUniverse {
+                count: 5,
+                universe: 4
+            }
+        );
+        assert!(msg.contains("5") && msg.contains("4"));
+    }
+
+    /// The previous `FaultSet::random` implementation, kept as the reference
+    /// distribution for the equivalence test below: materialise every id,
+    /// shuffle, take a prefix.
+    fn random_by_full_shuffle<R: rand::Rng>(
+        universe: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> FaultSet {
+        use rand::seq::SliceRandom;
+        let mut all: Vec<NodeId> = (0..universe).collect();
+        all.shuffle(rng);
+        FaultSet::from_nodes(universe, all.into_iter().take(count))
+    }
+
+    #[test]
+    fn floyd_sampling_matches_shuffle_distribution() {
+        use rand::{rngs::StdRng, SeedableRng};
+        // Both samplers claim uniformity over all C(6, 3) = 20 subsets. Draw
+        // 4000 sets with each and check every subset lands in a wide band
+        // around the expected 200 hits (±7 sd) for both — a distribution
+        // mismatch (e.g. a biased Floyd insert) lands far outside the band.
+        let (n, k, draws) = (6usize, 3usize, 4000usize);
+        let total = Combinations::total(n, k) as usize;
+        let key = |f: &FaultSet| f.iter().fold(0usize, |acc, v| acc | (1 << v));
+        let mut floyd = vec![0usize; 1 << n];
+        let mut shuffle = vec![0usize; 1 << n];
+        let mut rng = StdRng::seed_from_u64(0x1992_1c44);
+        for _ in 0..draws {
+            floyd[key(&FaultSet::random(n, k, &mut rng).unwrap())] += 1;
+            shuffle[key(&random_by_full_shuffle(n, k, &mut rng))] += 1;
+        }
+        let expected = draws / total; // 200
+        let band = 100..=2 * expected; // ±~7 sd around the mean
+        let mut subsets = 0;
+        for mask in 0..1usize << n {
+            if (mask as u32).count_ones() as usize != k {
+                assert_eq!(floyd[mask], 0, "off-size subset drawn: {mask:#b}");
+                assert_eq!(shuffle[mask], 0);
+                continue;
+            }
+            subsets += 1;
+            assert!(
+                band.contains(&floyd[mask]),
+                "floyd biased on subset {mask:#b}: {}",
+                floyd[mask]
+            );
+            assert!(
+                band.contains(&shuffle[mask]),
+                "shuffle reference off on subset {mask:#b}: {}",
+                shuffle[mask]
+            );
+        }
+        assert_eq!(subsets, total);
     }
 
     #[test]
@@ -453,7 +599,7 @@ mod tests {
     fn sampling_produces_requested_number() {
         let g = generators::cycle(12);
         let mut rng = rand::rng();
-        let sets = sample_fault_sets(&g, 3, 7, &mut rng);
+        let sets = sample_fault_sets(&g, 3, 7, &mut rng).unwrap();
         assert_eq!(sets.len(), 7);
         assert!(sets.iter().all(|f| f.len() == 3 && f.universe() == 12));
     }

@@ -239,7 +239,7 @@ mod tests {
         fn theorem_1_random_fault_sets(h in 3usize..7, k in 0usize..5, seed in 0u64..500) {
             let ft = FtDeBruijn2::new(h, k);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+            let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
             let phi = ft.reconfigure(&faults);
             prop_assert!(phi.verify(ft.target().graph(), ft.graph()).is_ok());
             prop_assert!(phi.as_slice().iter().all(|&v| !faults.contains(v)));

@@ -204,7 +204,7 @@ mod tests {
         fn theorem_2_random_fault_sets(m in 2usize..5, h in 3usize..5, k in 0usize..4, seed in 0u64..200) {
             let ft = FtDeBruijnM::new(m, h, k);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+            let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
             let phi = ft.reconfigure(&faults);
             prop_assert!(phi.verify(ft.target().graph(), ft.graph()).is_ok());
         }

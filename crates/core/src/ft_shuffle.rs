@@ -359,7 +359,8 @@ mod tests {
         let via_db = FtShuffleExchange::new(5, 3).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            let faults = FaultSet::random(via_db.node_count(), 3, &mut rng);
+            let faults =
+                FaultSet::random(via_db.node_count(), 3, &mut rng).expect("k within node count");
             via_db.reconfigure_verified(&faults).unwrap();
         }
     }
@@ -370,7 +371,7 @@ mod tests {
         fn natural_random_faults_tolerated(h in 3usize..7, k in 1usize..4, seed in 0u64..200) {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let natural = NaturalFtShuffleExchange::new(h, k);
-            let faults = FaultSet::random(natural.node_count(), k, &mut rng);
+            let faults = FaultSet::random(natural.node_count(), k, &mut rng).expect("k within node count");
             prop_assert!(natural.reconfigure_verified(&faults).is_ok());
         }
     }

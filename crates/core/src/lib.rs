@@ -55,13 +55,15 @@ pub mod ft_debruijn;
 pub mod ft_debruijn_m;
 pub mod ft_shuffle;
 pub mod lemmas;
+pub mod linkfault;
 pub mod lowerbound;
 pub mod reconfig;
 pub mod verify;
 
 pub use bus::BusArchitecture;
-pub use fault::FaultSet;
+pub use fault::{FaultError, FaultSet};
 pub use ft_debruijn::FtDeBruijn2;
 pub use ft_debruijn_m::FtDeBruijnM;
 pub use ft_shuffle::{FtShuffleExchange, NaturalFtShuffleExchange};
+pub use linkfault::LinkFaultSet;
 pub use reconfig::reconfigure;

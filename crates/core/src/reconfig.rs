@@ -151,7 +151,7 @@ mod tests {
             let host = n + k;
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let faults = FaultSet::random(host, k, &mut rng);
+            let faults = FaultSet::random(host, k, &mut rng).expect("k within node count");
             let phi = reconfigure(n, &faults);
             let deltas = displacements(&phi);
             prop_assert!(deltas.iter().all(|&d| d <= k));

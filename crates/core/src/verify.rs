@@ -258,6 +258,14 @@ pub fn verify_sampled(
 ) -> ToleranceReport {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = host.node_count();
+    if k > n {
+        // No fault set of size k exists; report an empty (vacuous) pass.
+        return ToleranceReport {
+            checked: 0,
+            failures: Vec::new(),
+            failure_count: 0,
+        };
+    }
     let target_edges: Vec<(u32, u32)> = target.edges().map(|(a, b)| (a as u32, b as u32)).collect();
     let matrix = (n <= ADJACENCY_MATRIX_LIMIT).then(|| AdjacencyMatrix::build(host));
     let mut kernel = VerifyKernel::new(target.node_count(), &target_edges, host, matrix.as_ref());
@@ -265,7 +273,11 @@ pub fn verify_sampled(
     let mut failures = Vec::new();
     let mut failure_count = 0;
     for _ in 0..samples {
-        let faults = FaultSet::random(n, k, &mut rng);
+        // `k <= n` was checked above, so the draw cannot fail; skip
+        // defensively rather than panic to keep this path panic-free.
+        let Ok(faults) = FaultSet::random(n, k, &mut rng) else {
+            continue;
+        };
         combo.clear();
         combo.extend(faults.iter());
         if !kernel.check(&combo) {

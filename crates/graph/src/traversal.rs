@@ -136,6 +136,29 @@ impl Searcher {
         allow: F,
         out: &mut Vec<NodeId>,
     ) -> bool {
+        self.shortest_path_avoiding_into(g, source, target, allow, |_| true, out)
+    }
+
+    /// [`Searcher::shortest_path_filtered_into`] with an additional filter on
+    /// directed CSR edge slots: the hop `u → v` stored at index `s` of the
+    /// CSR adjacency array is taken only when `allow_slot(s)` holds, so a
+    /// search can route around individual dead directed links rather than
+    /// whole nodes. When `allow_slot` admits every slot the traversal order —
+    /// and therefore the returned path — is identical to the node-only
+    /// variant.
+    pub fn shortest_path_avoiding_into<F, E>(
+        &mut self,
+        g: &Graph,
+        source: NodeId,
+        target: NodeId,
+        allow: F,
+        allow_slot: E,
+        out: &mut Vec<NodeId>,
+    ) -> bool
+    where
+        F: Fn(NodeId) -> bool,
+        E: Fn(usize) -> bool,
+    {
         assert!(
             source < g.node_count() && target < g.node_count(),
             "path endpoints out of range"
@@ -150,14 +173,16 @@ impl Searcher {
         }
         self.begin(g.node_count());
         self.visit(source, source as u32, 0);
+        let (offsets, neighbors) = g.csr();
         let mut head = 0usize;
         'search: while head < self.queue.len() {
             let u = self.queue[head] as usize;
             head += 1;
             let du = self.dist[u];
-            for &v in g.neighbors(u) {
-                let vi = v as usize;
-                if self.mark[vi] != self.round && allow(vi) {
+            let row = offsets[u] as usize..offsets[u + 1] as usize;
+            for (s, &nbr) in row.clone().zip(&neighbors[row]) {
+                let vi = nbr as usize;
+                if self.mark[vi] != self.round && allow(vi) && allow_slot(s) {
                     self.visit(vi, u as u32, du + 1);
                     if vi == target {
                         break 'search;
@@ -387,6 +412,31 @@ mod tests {
         s.bfs_filtered(&p, 0, |v| v != 2);
         assert_eq!(s.reached(), 2);
         assert_eq!(s.distance(3), None);
+    }
+
+    #[test]
+    fn slot_filtered_search_avoids_dead_directed_links() {
+        // Cycle 0-1-2-3-4-5: killing the directed slot 0→1 forces the long
+        // way around, while 1→0 stays usable (directed semantics).
+        let c = generators::cycle(6);
+        let (offsets, neighbors) = c.csr();
+        let slot_of = |u: usize, v: usize| {
+            (offsets[u] as usize..offsets[u + 1] as usize)
+                .find(|&s| neighbors[s] as usize == v)
+                .unwrap()
+        };
+        let dead = slot_of(0, 1);
+        let mut s = Searcher::new();
+        let mut out = Vec::new();
+        assert!(s.shortest_path_avoiding_into(&c, 0, 2, |_| true, |sl| sl != dead, &mut out));
+        assert_eq!(out, vec![0, 5, 4, 3, 2], "must route the long way around");
+        assert!(s.shortest_path_avoiding_into(&c, 2, 0, |_| true, |sl| sl != dead, &mut out));
+        assert_eq!(out, vec![2, 1, 0], "reverse direction is unaffected");
+        // All slots allowed reproduces the node-only variant exactly.
+        let mut reference = Vec::new();
+        assert!(s.shortest_path_filtered_into(&c, 0, 3, |v| v != 1, &mut reference));
+        assert!(s.shortest_path_avoiding_into(&c, 0, 3, |v| v != 1, |_| true, &mut out));
+        assert_eq!(out, reference);
     }
 
     #[test]

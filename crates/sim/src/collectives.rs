@@ -225,7 +225,8 @@ mod tests {
         let expected = sequential_inclusive_scan(&vals);
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         for _ in 0..10 {
-            let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+            let faults =
+                FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
             let placement = ft.reconfigure_verified(&faults).unwrap();
             let machine =
                 PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);

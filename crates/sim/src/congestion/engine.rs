@@ -8,7 +8,7 @@
 use super::implicit_route;
 use crate::machine::{PhysicalMachine, PortModel, SimError};
 use crate::metrics::LatencySummary;
-use ftdb_core::{FaultSet, FtDeBruijn2};
+use ftdb_core::{FaultSet, FtDeBruijn2, LinkFaultSet};
 use ftdb_graph::traversal::Searcher;
 use ftdb_graph::{Embedding, NodeId};
 use ftdb_topology::DeBruijn2;
@@ -472,6 +472,15 @@ pub struct CongestionSim {
     /// Nodes killed by the schedule so far (dense flags + undo list).
     dead: Vec<bool>,
     dead_list: Vec<u32>,
+    /// `(cycle, CSR slot)` directed-link kills sorted by cycle; fired with
+    /// the node schedule, before any flit moves that cycle.
+    link_schedule: Vec<(u32, u32)>,
+    link_schedule_pos: usize,
+    /// Directed CSR slots killed by the link schedule so far (dense flags +
+    /// undo list). A dead slot never admits another flit; packets whose next
+    /// hop crosses one are handled per [`FaultResponse`] at examination.
+    dead_link: Vec<bool>,
+    dead_link_list: Vec<u32>,
     // --- cycle state -----------------------------------------------------
     cycle: u32,
     /// In-flight packets (injected, not yet delivered or dropped).
@@ -696,6 +705,10 @@ impl CongestionSim {
             schedule_pos: 0,
             dead: vec![false; n],
             dead_list: Vec::new(),
+            link_schedule: Vec::new(),
+            link_schedule_pos: 0,
+            dead_link: vec![false; slots],
+            dead_link_list: Vec::new(),
             cycle: 0,
             in_flight: 0,
             in_network: Vec::new(),
@@ -1123,6 +1136,61 @@ impl CongestionSim {
         faults
     }
 
+    /// Schedules the directed link `from → to` to die at the *start* of
+    /// `cycle` (before any flit moves that cycle). The reverse direction
+    /// keeps carrying flits unless scheduled separately.
+    ///
+    /// # Panics
+    /// Panics if the graph has no directed link `from → to`.
+    pub fn schedule_link_fault(&mut self, cycle: u32, from: NodeId, to: NodeId) {
+        let slot = edge_slot_in(&self.machine, from, to as u32)
+            // analyzer: allow(expect) -- schedule-time validation of caller input, mirroring schedule_fault's range assert; never on the cycle loop
+            .expect("scheduled link fault names a missing directed link");
+        self.schedule_link_fault_slot(cycle, slot);
+    }
+
+    /// Schedules the directed link occupying CSR `slot` to die at the
+    /// *start* of `cycle`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn schedule_link_fault_slot(&mut self, cycle: u32, slot: usize) {
+        assert!(slot < self.dead_link.len(), "fault slot out of range");
+        self.link_schedule.push((cycle, slot as u32));
+        self.link_schedule.sort_unstable();
+    }
+
+    /// Schedules every directed link in `faults` to die at the *start* of
+    /// `cycle` — the bulk entry point for the correlated generators
+    /// ([`LinkFaultSet::bernoulli`], [`LinkFaultSet::burst`],
+    /// [`LinkFaultSet::from_node_faults`]).
+    ///
+    /// # Panics
+    /// Panics if `faults` was built against a different graph (slot
+    /// universes differ).
+    pub fn schedule_link_faults(&mut self, cycle: u32, faults: &LinkFaultSet) {
+        assert_eq!(
+            faults.universe(),
+            self.dead_link.len(),
+            "link fault set universe must match the machine's slot count"
+        );
+        for slot in faults.iter() {
+            self.link_schedule.push((cycle, slot as u32));
+        }
+        self.link_schedule.sort_unstable();
+    }
+
+    /// The directed links killed by the dynamic schedule so far, as a
+    /// [`LinkFaultSet`] over this machine's graph (the link analogue of
+    /// [`CongestionSim::current_fault_set`]).
+    pub fn current_link_fault_set(&self) -> LinkFaultSet {
+        let mut faults = LinkFaultSet::empty(self.machine.graph());
+        for &slot in &self.dead_link_list {
+            faults.add(slot as usize);
+        }
+        faults
+    }
+
     /// Schedules a credit return for gate `gidx`: the freed buffer slot
     /// becomes usable `packet_flits` cycles later — the slot drains when the
     /// tail flit clears it (immediately for store-and-forward), and the
@@ -1432,6 +1500,9 @@ impl CongestionSim {
     /// virtual channel) gate, `free credits + in-flight timed returns +
     /// live occupants == buffer_depth`. Returns the first violation as a
     /// human-readable message. Always `Ok` under [`FlowControl::Infinite`].
+    /// The invariant holds through node *and* directed-link kills: a killed
+    /// packet's slot drains back as a timed return, and a dead gate simply
+    /// accumulates its full depth and never hands a credit out again.
     /// Allocation-free (the per-gate occupancy and pending counts reuse
     /// scratch arrays sized at construction, hence `&mut self`), so tests
     /// may call it every cycle.
@@ -1479,10 +1550,15 @@ impl CongestionSim {
     /// any flit moves. Packets sitting on a dying node die with it — and,
     /// under credit flow control, give their buffer slots back (a dead
     /// processor must not hold credits hostage). Every parked packet is
-    /// woken, because its next hop may now lead into a dead node. Returns
-    /// how many nodes were killed; idempotent within a cycle, so a recovery
-    /// driver may call it ahead of [`CongestionSim::step`] to reconfigure
-    /// and re-target *before* the fault-cycle movement.
+    /// woken, because its next hop may now lead into a dead node. Directed
+    /// links killed by the link schedule fire here too: a dead slot never
+    /// admits another flit, and only the packets parked on its gates are
+    /// woken (a per-link wake event — every other packet's movability is
+    /// untouched, so the whole-network wake stays reserved for node kills).
+    /// Returns how many nodes and links were killed; idempotent within a
+    /// cycle, so a recovery driver may call it ahead of
+    /// [`CongestionSim::step`] to reconfigure and re-target *before* the
+    /// fault-cycle movement.
     pub fn fire_due_faults(&mut self) -> usize {
         let mut killed = 0;
         while self.schedule_pos < self.schedule.len()
@@ -1515,7 +1591,47 @@ impl CongestionSim {
                 panic!("fault kill broke credit conservation: {msg}");
             }
         }
-        killed
+        let mut links_killed = 0;
+        let first_new_link = self.dead_link_list.len();
+        while self.link_schedule_pos < self.link_schedule.len()
+            && self.link_schedule[self.link_schedule_pos].0 <= self.cycle
+        {
+            let (_, slot) = self.link_schedule[self.link_schedule_pos];
+            self.link_schedule_pos += 1;
+            if !self.dead_link[slot as usize] {
+                self.dead_link[slot as usize] = true;
+                self.dead_link_list.push(slot);
+                links_killed += 1;
+            }
+        }
+        if links_killed > 0 {
+            // Per-link wake: a packet can only be affected by this kill if
+            // its next hop crosses the dying slot, and such a packet is
+            // either in the examination queue already (it requeues every
+            // cycle while blocked on a port or claim) or parked on one of
+            // exactly this slot's gates. Flushing those queues hands every
+            // affected packet to this cycle's examination pass, where the
+            // extended hazard check applies the configured [`FaultResponse`].
+            // Packets buffered *downstream* of the dead link keep flying —
+            // their buffer is hardware at the receiving node; the link, not
+            // the memory, died — so credits drain back through the ordinary
+            // timed returns and conservation holds per gate, dead or alive.
+            let vcs = self.vcs as usize;
+            for i in first_new_link..self.dead_link_list.len() {
+                let slot = self.dead_link_list[i] as usize;
+                for gidx in slot * vcs..(slot + 1) * vcs {
+                    if self.blocked_head[gidx] != NONE_ID {
+                        self.wake_slot(gidx);
+                    }
+                }
+            }
+            #[cfg(debug_assertions)]
+            if let Err(msg) = self.check_credit_conservation() {
+                // analyzer: allow(panic) -- debug_assertions-only invariant escalation; release builds never compile this arm
+                panic!("link kill broke credit conservation: {msg}");
+            }
+        }
+        killed + links_killed
     }
 
     /// The physical node live packet `id`'s route ends on — where a
@@ -1574,11 +1690,13 @@ impl CongestionSim {
         // Split the borrows: BFS needs &self.machine + &mut scratch.
         let machine = &self.machine;
         let dead = &self.dead;
-        let found = self.searcher.shortest_path_filtered_into(
+        let dead_link = &self.dead_link;
+        let found = self.searcher.shortest_path_avoiding_into(
             machine.graph(),
             here,
             target,
             |v| machine.is_healthy(v) && !dead[v],
+            |slot| !dead_link[slot],
             &mut self.reroute_path,
         );
         if !found {
@@ -1674,7 +1792,7 @@ impl CongestionSim {
         let track_vc = self.track_vc;
         // Loaded paths never cross statically-faulty processors, so the
         // dead-next-hop check only matters once a dynamic fault has fired.
-        let hazard = !self.dead_list.is_empty();
+        let hazard = !self.dead_list.is_empty() || !self.dead_link_list.is_empty();
         let mut moved = 0;
         // Examine the queued packets in ascending id order (= age order),
         // clearing each bitmap word as it is consumed; survivors set their
@@ -1700,9 +1818,10 @@ impl CongestionSim {
                     // cached hop slot (for materialized packets this equals
                     // the next path entry's node by construction).
                     let next = self.machine.graph().csr().1[slot] as usize;
-                    if self.dead[next] {
-                        // The precomputed route runs into a node that died
-                        // after the route was computed.
+                    if self.dead[next] || self.dead_link[slot] {
+                        // The precomputed route runs into a node (or crosses
+                        // a directed link) that died after the route was
+                        // computed.
                         match self.config.fault_response {
                             FaultResponse::Drop => {
                                 self.resolve_dropped(id, stamp);
@@ -1859,6 +1978,7 @@ impl CongestionSim {
                 && !self.serves_pending()
                 && self.inject_pos >= self.pending_inject.len()
                 && self.schedule_pos >= self.schedule.len()
+                && self.link_schedule_pos >= self.link_schedule.len()
             {
                 self.deadlocked = true;
                 break;
@@ -2037,6 +2157,11 @@ impl CongestionSim {
         }
         self.dead_list.clear();
         self.schedule_pos = 0;
+        for &s in &self.dead_link_list {
+            self.dead_link[s as usize] = false;
+        }
+        self.dead_link_list.clear();
+        self.link_schedule_pos = 0;
         self.cycle = 0;
         self.total_flits = 0;
         for f in &mut self.link_flits {
@@ -2146,6 +2271,7 @@ impl CongestionSim {
         self.queued_now.clear();
         self.queued_next.clear();
         self.schedule.clear();
+        self.link_schedule.clear();
         self.open_loop_sources = 0;
         self.loaded_path_len = 0;
         self.loaded_seg_len = 0;
@@ -2191,7 +2317,8 @@ pub struct CycleEvents {
     pub injected: u64,
     /// Credits returned last cycle that became usable this cycle.
     pub credits_applied: u64,
-    /// Processors killed by the fault schedule this cycle.
+    /// Processors plus directed links killed by the fault schedules this
+    /// cycle.
     pub faults_fired: usize,
     /// Packets still in flight afterwards.
     pub live: u64,

@@ -79,6 +79,24 @@
 //! image, and drains — measuring *recovery latency*, not just post-hoc
 //! embeddability.
 //!
+//! A second schedule kills individual **directed links** (CSR edge slots)
+//! mid-run — [`CongestionSim::schedule_link_fault`], the bulk
+//! [`CongestionSim::schedule_link_faults`] over an
+//! [`ftdb_core::LinkFaultSet`], and the sharded mirrors on
+//! [`ShardedSim`]. A link kill is a *local* wake event: only the packets
+//! parked on the dead slot's gates are flushed to re-examination (every
+//! other packet's movability is untouched), the hazard check extends to
+//! `dead_link[slot]`, and re-route BFS avoids dead slots via an edge
+//! filter. Packets buffered downstream of a dead link keep flying — the
+//! link died, not the receiving buffer — so credit conservation holds per
+//! gate with no eviction scan. For traffic injected before the kill,
+//! killing every slot incident to a node is report-identical to killing
+//! the node itself (a differential test pins this; the models differ only
+//! for *later* injections at that node, whose processor stays alive under
+//! link faults), and node-fault-only schedules take exactly the
+//! pre-link-fault code path. The reliability story — correlated bursts, Monte-Carlo
+//! delivery/slowdown curves — is written up in `docs/RELIABILITY.md`.
+//!
 //! The steady-state cycle loop is allocation-free after loading, in the
 //! spirit of PR 2: claims are epoch-stamped arrays indexed by CSR edge
 //! slot, the examination lists and blocked queues are sized at load, and

@@ -35,6 +35,7 @@ use super::engine::{
 use super::implicit_route;
 use crate::machine::{PhysicalMachine, PortModel};
 use crate::metrics::LatencySummary;
+use ftdb_core::LinkFaultSet;
 use ftdb_graph::traversal::Searcher;
 use ftdb_graph::{Embedding, NodeId};
 use ftdb_topology::DeBruijn2;
@@ -106,6 +107,14 @@ struct ShardCore {
     dead_list: Vec<u32>,
     schedule: Vec<(u32, u32)>,
     schedule_pos: usize,
+    /// `(cycle, global CSR slot)` directed-link kills; every core carries
+    /// the full schedule (the hazard check needs remote dead links), but a
+    /// kill only wakes the gates of *locally owned* slots.
+    link_schedule: Vec<(u32, u32)>,
+    link_schedule_pos: usize,
+    /// Dead directed CSR slots, over the full global slot universe.
+    dead_link: Vec<bool>,
+    dead_link_list: Vec<u32>,
     // --- packet state (full id space; valid while hosted here) -----------
     entry: Vec<u64>,
     imp_pos: Vec<u32>,
@@ -161,6 +170,7 @@ impl ShardCore {
         slot_lo: usize,
         slot_hi: usize,
         n: usize,
+        total_slots: usize,
         shards: usize,
         flow_depth: u32,
         vcs: usize,
@@ -198,6 +208,10 @@ impl ShardCore {
             dead_list: Vec::new(),
             schedule: Vec::new(),
             schedule_pos: 0,
+            link_schedule: Vec::new(),
+            link_schedule_pos: 0,
+            dead_link: vec![false; total_slots],
+            dead_link_list: Vec::new(),
             entry: Vec::new(),
             imp_pos: Vec::new(),
             imp_rem: Vec::new(),
@@ -483,9 +497,13 @@ impl ShardCore {
         }
     }
 
-    /// Applies due schedule entries (every core holds the full schedule, so
-    /// `killed` agrees across shards), drops packets hosted on dead nodes,
-    /// and wakes every parked packet — mirroring `fire_due_faults`.
+    /// Applies due schedule entries (every core holds the full node and
+    /// link schedules, so `killed` agrees across shards), drops packets
+    /// hosted on dead nodes, and wakes every parked packet — mirroring
+    /// `fire_due_faults`. Directed-link kills are marked globally but wake
+    /// only the gates of locally-owned dead slots: parked packets live on
+    /// the shard owning their next-hop slot, so the per-link wake stays a
+    /// local event with no barrier traffic.
     fn fire_due_faults(&mut self, ctx: &ShardCtx<'_>, cycle: u32) {
         while self.schedule_pos < self.schedule.len() && self.schedule[self.schedule_pos].0 <= cycle
         {
@@ -504,6 +522,29 @@ impl ShardCore {
                 }
             }
             self.wake_all_parked();
+        }
+        let first_new_link = self.dead_link_list.len();
+        while self.link_schedule_pos < self.link_schedule.len()
+            && self.link_schedule[self.link_schedule_pos].0 <= cycle
+        {
+            let (_, slot) = self.link_schedule[self.link_schedule_pos];
+            self.link_schedule_pos += 1;
+            if !self.dead_link[slot as usize] {
+                self.dead_link[slot as usize] = true;
+                self.dead_link_list.push(slot);
+                self.killed += 1;
+            }
+        }
+        for i in first_new_link..self.dead_link_list.len() {
+            let slot = self.dead_link_list[i] as usize;
+            if slot >= self.slot_lo && slot < self.slot_hi {
+                let base = (slot - self.slot_lo) * self.vcs;
+                for lg in base..base + self.vcs {
+                    if self.blocked_head[lg] != NONE_ID {
+                        self.wake_slot(lg);
+                    }
+                }
+            }
         }
     }
 
@@ -541,11 +582,13 @@ impl ShardCore {
         let here = pk_node(self.entry[id]);
         let machine = ctx.machine;
         let dead = &self.dead;
-        let found = self.searcher.shortest_path_filtered_into(
+        let dead_link = &self.dead_link;
+        let found = self.searcher.shortest_path_avoiding_into(
             machine.graph(),
             here,
             target,
             |v| machine.is_healthy(v) && !dead[v],
+            |slot| !dead_link[slot],
             &mut self.reroute_path,
         );
         if !found {
@@ -697,7 +740,7 @@ impl ShardCore {
         let vcs = self.vcs;
         let pf = self.packet_flits;
         let track_vc = self.track_vc;
-        let hazard = !self.dead_list.is_empty();
+        let hazard = !self.dead_list.is_empty() || !self.dead_link_list.is_empty();
         for wi in 0..self.queued_now.len() {
             let mut word = self.queued_now[wi];
             if word == 0 {
@@ -716,7 +759,7 @@ impl ShardCore {
                 debug_assert!(slot >= self.slot_lo && slot < self.slot_hi, "foreign slot");
                 if hazard {
                     let next = ctx.machine.graph().csr().1[slot] as usize;
-                    if self.dead[next] {
+                    if self.dead[next] || self.dead_link[slot] {
                         match ctx.fault_response {
                             FaultResponse::Drop => {
                                 self.resolve(ctx, id, stamp, RES_DROPPED);
@@ -953,6 +996,7 @@ impl ShardedSim {
                     slot_start[s] as usize,
                     slot_start[s + 1] as usize,
                     n,
+                    slot_start[shards] as usize,
                     shards,
                     flow_depth,
                     vcs as usize,
@@ -1191,6 +1235,56 @@ impl ShardedSim {
         }
     }
 
+    /// Schedules the directed link `from -> to` to die at the start of
+    /// `cycle` — the sharded counterpart of
+    /// [`super::CongestionSim::schedule_link_fault`]. Every core carries the
+    /// full link schedule (the hazard check needs remote dead links); the
+    /// kill's wake event stays local to the slot's owning shard.
+    ///
+    /// # Panics
+    /// Panics when the directed link does not exist in the machine's graph.
+    pub fn schedule_link_fault(&mut self, cycle: u32, from: NodeId, to: NodeId) {
+        let slot = edge_slot_in(&self.machine, from, to as u32)
+            // analyzer: allow(expect) -- schedule-time validation of caller input, mirroring schedule_fault's range assert; never on the cycle loop
+            .expect("scheduled link fault names a missing directed link");
+        self.schedule_link_fault_slot(cycle, slot);
+    }
+
+    /// Schedules the directed CSR slot `slot` to die at the start of
+    /// `cycle`; see [`ShardedSim::schedule_link_fault`].
+    ///
+    /// # Panics
+    /// Panics when `slot` is not a valid CSR slot of the machine's graph.
+    pub fn schedule_link_fault_slot(&mut self, cycle: u32, slot: usize) {
+        let total = self.slot_start[self.shards] as usize;
+        assert!(slot < total, "fault slot out of range");
+        for core in &mut self.cores {
+            core.link_schedule.push((cycle, slot as u32));
+            core.link_schedule.sort_unstable();
+        }
+    }
+
+    /// Schedules every directed slot in `faults` to die at the start of
+    /// `cycle`; the bulk form of [`ShardedSim::schedule_link_fault_slot`].
+    ///
+    /// # Panics
+    /// Panics when `faults` was built over a different graph (slot universe
+    /// mismatch).
+    pub fn schedule_link_faults(&mut self, cycle: u32, faults: &LinkFaultSet) {
+        let total = self.slot_start[self.shards] as usize;
+        assert_eq!(
+            faults.universe(),
+            total,
+            "link fault set universe must match the machine's slot count"
+        );
+        for core in &mut self.cores {
+            for slot in faults.iter() {
+                core.link_schedule.push((cycle, slot as u32));
+            }
+            core.link_schedule.sort_unstable();
+        }
+    }
+
     /// Applies one drained resolution to the global packet table. Takes the
     /// table's fields individually (not `&mut self`) so the run loops can
     /// call it while `self.cores` is mutably borrowed.
@@ -1304,10 +1398,10 @@ impl ShardedSim {
                 && self.live > 0
                 && self.cores.iter().all(|c| c.fifos_drained())
                 && self.cores.iter().all(|c| c.injects_done())
-                && self
-                    .cores
-                    .iter()
-                    .all(|c| c.schedule_pos >= c.schedule.len())
+                && self.cores.iter().all(|c| {
+                    c.schedule_pos >= c.schedule.len()
+                        && c.link_schedule_pos >= c.link_schedule.len()
+                })
             {
                 self.deadlocked = true;
                 break;
@@ -1576,7 +1670,8 @@ fn worker_loop(
                         batches: core.take_batches(shard),
                         pending_empty: core.fifos_drained(),
                         injects_done: core.injects_done(),
-                        schedule_done: core.schedule_pos >= core.schedule.len(),
+                        schedule_done: core.schedule_pos >= core.schedule.len()
+                            && core.link_schedule_pos >= core.link_schedule.len(),
                     }
                 }));
                 match out {

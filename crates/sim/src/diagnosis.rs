@@ -146,7 +146,8 @@ mod tests {
         let ft = FtDeBruijn2::new(4, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for _ in 0..25 {
-            let actual = FaultSet::random(ft.node_count(), 3, &mut rng);
+            let actual =
+                FaultSet::random(ft.node_count(), 3, &mut rng).expect("k within node count");
             let machine = PhysicalMachine::with_faults(
                 ft.graph().clone(),
                 actual.clone(),
@@ -176,7 +177,8 @@ mod tests {
         let expected: u64 = values.iter().sum();
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         for _ in 0..10 {
-            let actual = FaultSet::random(ft.node_count(), k, &mut rng);
+            let actual =
+                FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
             let outcome = detect_reconfigure_resume(&ft, &actual, &values)
                 .expect("recovery pipeline must succeed for <= k crashes");
             assert!(outcome.diagnosis.is_complete_and_correct(&actual));

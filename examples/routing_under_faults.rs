@@ -55,7 +55,7 @@ fn main() {
 
     // k faults, no spares: oblivious routing loses packets, adaptive routing
     // saves some of them but cannot serve faulty endpoints.
-    let faults = FaultSet::random(n, k, &mut rng);
+    let faults = FaultSet::random(n, k, &mut rng).expect("k within node count");
     let faulted =
         PhysicalMachine::with_faults(db.graph().clone(), faults.clone(), PortModel::MultiPort);
     print_stats(
@@ -69,7 +69,7 @@ fn main() {
 
     // The fault-tolerant machine, reconfigured around k faults.
     let ft = FtDeBruijn2::new(h, k);
-    let ft_faults = FaultSet::random(ft.node_count(), k, &mut rng);
+    let ft_faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
     let placement = ft
         .reconfigure_verified(&ft_faults)
         .expect("Theorem 1: any k faults are tolerated");

@@ -14,7 +14,7 @@ proptest! {
     fn ft_base2_tolerates_random_faults(h in 3usize..7, k in 0usize..5, seed in 0u64..10_000) {
         let ft = FtDeBruijn2::new(h, k);
         let mut rng = ftdb_tests::seeded_rng(seed);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let phi = ft.reconfigure_verified(&faults).expect("Theorem 1");
         // The image avoids every fault and is strictly increasing.
         prop_assert!(phi.as_slice().iter().all(|&v| !faults.contains(v)));
@@ -26,7 +26,7 @@ proptest! {
     fn ft_base_m_tolerates_random_faults(m in 2usize..5, h in 3usize..5, k in 0usize..4, seed in 0u64..10_000) {
         let ft = FtDeBruijnM::new(m, h, k);
         let mut rng = ftdb_tests::seeded_rng(seed);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         prop_assert!(ft.reconfigure_verified(&faults).is_ok());
     }
 
@@ -47,7 +47,7 @@ proptest! {
     fn induced_subgraph_definition_of_tolerance(h in 3usize..6, k in 1usize..4, seed in 0u64..10_000) {
         let ft = FtDeBruijn2::new(h, k);
         let mut rng = ftdb_tests::seeded_rng(seed);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let surviving = ops::remove_nodes(ft.graph(), faults.as_bitset());
         prop_assert_eq!(surviving.graph.node_count(), ft.node_count() - k);
         // The rank map, re-expressed in the induced subgraph's node ids, is
@@ -107,7 +107,7 @@ proptest! {
         let ft = FtDeBruijn2::new(h, k);
         let f = faults_used.min(k);
         let mut rng = ftdb_tests::seeded_rng(seed);
-        let faults = FaultSet::random(ft.node_count(), f, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), f, &mut rng).expect("k within node count");
         let phi = ft.reconfigure(&faults);
         let spares = ftdb_core::reconfig::unused_spares(&phi, &faults);
         prop_assert_eq!(spares.len(), k - f);

@@ -49,7 +49,7 @@ fn reconfigured_machine_routes_an_entire_permutation() {
     let ft = FtDeBruijn2::new(6, 3);
     let db = ft.target().clone();
     let mut rng = ftdb_tests::seeded_rng(11);
-    let faults = FaultSet::random(ft.node_count(), 3, &mut rng);
+    let faults = FaultSet::random(ft.node_count(), 3, &mut rng).expect("k within node count");
     let placement = ft.reconfigure_verified(&faults).unwrap();
     let machine = PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);
     let pairs = workload::permutation_pairs(db.node_count(), &mut rng);
@@ -63,7 +63,7 @@ fn reconfigured_machine_routes_an_entire_permutation() {
 fn unprotected_machine_loses_packets_under_the_same_faults() {
     let db = DeBruijn2::new(6);
     let mut rng = ftdb_tests::seeded_rng(11);
-    let faults = FaultSet::random(db.node_count(), 3, &mut rng);
+    let faults = FaultSet::random(db.node_count(), 3, &mut rng).expect("k within node count");
     let machine = PhysicalMachine::with_faults(db.graph().clone(), faults, PortModel::MultiPort);
     let pairs = workload::permutation_pairs(db.node_count(), &mut rng);
     let stats = run_logical_workload(&db, &Embedding::identity(db.node_count()), &machine, &pairs);
@@ -81,7 +81,7 @@ fn surviving_subgraph_is_connected_after_max_faults() {
     let ft = FtDeBruijn2::new(5, 2);
     let mut rng = ftdb_tests::seeded_rng(3);
     for _ in 0..25 {
-        let faults = FaultSet::random(ft.node_count(), 2, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), 2, &mut rng).expect("k within node count");
         let phi = ft.reconfigure_verified(&faults).unwrap();
         // Build the image subgraph and check connectivity.
         let mut keep = ftdb_graph::BitSet::new(ft.node_count());
@@ -99,7 +99,7 @@ fn displacements_never_exceed_k_in_practice() {
     let ft = FtDeBruijn2::new(7, 5);
     let mut rng = ftdb_tests::seeded_rng(5);
     for _ in 0..50 {
-        let faults = FaultSet::random(ft.node_count(), 5, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), 5, &mut rng).expect("k within node count");
         let phi = ft.reconfigure(&faults);
         let deltas = ftdb_core::reconfig::displacements(&phi);
         assert!(deltas.iter().all(|&d| d <= 5));

@@ -128,7 +128,7 @@ fn natural_construction_also_supports_the_ascend_run() {
     let expected = allreduce_hypercube(h, &values).values[0];
     let mut rng = ftdb_tests::seeded_rng(13);
     for _ in 0..20 {
-        let faults = FaultSet::random(ftse.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ftse.node_count(), k, &mut rng).expect("k within node count");
         let placement = ftse.reconfigure_verified(&faults).unwrap();
         let machine =
             PhysicalMachine::with_faults(ftse.graph().clone(), faults, PortModel::MultiPort);

@@ -77,7 +77,7 @@ proptest! {
         let n = db.node_count() as u32;
         let (s, t) = (raw_s % n, raw_t % n);
         let mut rng = ftdb_tests::seeded_rng(seed);
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let phi = ft.reconfigure_verified(&faults).expect("Theorem 1");
         let machine =
             PhysicalMachine::with_faults(ft.graph().clone(), faults, PortModel::MultiPort);

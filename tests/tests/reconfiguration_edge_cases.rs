@@ -6,7 +6,7 @@
 //! of that range.
 
 use ftdb_core::reconfig::{displacements, unused_spares};
-use ftdb_core::{FaultSet, FtDeBruijn2, FtDeBruijnM};
+use ftdb_core::{FaultError, FaultSet, FtDeBruijn2, FtDeBruijnM};
 use ftdb_tests::seeded_rng;
 
 /// With k = 0 there are no spares: the fault-tolerant graph *is* the target
@@ -85,23 +85,29 @@ fn over_budget_fault_set_rejected() {
     let _ = ft.reconfigure(&faults);
 }
 
-/// `FaultSet::random` refuses to draw more faults than the universe holds.
+/// `FaultSet::random` refuses to draw more faults than the universe holds —
+/// an `Err`, not a panic.
 #[test]
-#[should_panic(expected = "cannot fault")]
 fn random_fault_set_larger_than_universe_rejected() {
     let mut rng = seeded_rng(7);
-    let _ = FaultSet::random(10, 11, &mut rng);
+    assert_eq!(
+        FaultSet::random(10, 11, &mut rng),
+        Err(FaultError::CountExceedsUniverse {
+            count: 11,
+            universe: 10
+        })
+    );
 }
 
 /// `FaultSet::random` at the extremes: zero faults, and the full universe.
 #[test]
 fn random_fault_set_boundary_sizes() {
     let mut rng = seeded_rng(11);
-    let none = FaultSet::random(16, 0, &mut rng);
+    let none = FaultSet::random(16, 0, &mut rng).expect("0 <= 16");
     assert!(none.is_empty());
     assert_eq!(none.healthy().len(), 16);
 
-    let all = FaultSet::random(16, 16, &mut rng);
+    let all = FaultSet::random(16, 16, &mut rng).expect("16 <= 16");
     assert_eq!(all.len(), 16);
     assert!(all.healthy().is_empty());
     assert_eq!(all.iter().collect::<Vec<_>>(), (0..16).collect::<Vec<_>>());
@@ -115,7 +121,7 @@ fn full_budget_random_fault_sets_always_reconfigure() {
     let ft = FtDeBruijn2::new(h, k);
     let mut rng = seeded_rng(13);
     for _ in 0..50 {
-        let faults = FaultSet::random(ft.node_count(), k, &mut rng);
+        let faults = FaultSet::random(ft.node_count(), k, &mut rng).expect("k within node count");
         let phi = ft
             .reconfigure_verified(&faults)
             .expect("Theorem 1 at the k-fault boundary");
